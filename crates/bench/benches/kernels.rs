@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the computational kernels behind GLR:
+//! Delaunay triangulation, k-LDTG construction, node-local spanner
+//! derivation, DSTD tree extraction, and face routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glr_core::{spanner_neighbors, SpannerMode};
+use glr_geometry::{
+    dstd_next_hop, greedy_face_route, k_ldtg, ldtg_local_neighbors, unit_disk_graph, DstdKind,
+    Point2, Triangulation,
+};
+use glr_sim::{NeighborEntry, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, w: f64, h: f64, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.random_range(0.0..w), rng.random_range(0.0..h)))
+        .collect()
+}
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delaunay");
+    for n in [16usize, 32, 64, 128, 256] {
+        let pts = random_points(n, 1000.0, 1000.0, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| Triangulation::build(black_box(pts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_k_ldtg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("k_ldtg");
+    for n in [25usize, 50, 100] {
+        let pts = random_points(n, 1000.0, 1000.0, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| k_ldtg(black_box(pts), 250.0, 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_local_spanner(c: &mut Criterion) {
+    // The per-route-check hot path: a node's local spanner from its view.
+    let mut g = c.benchmark_group("local_spanner");
+    for view_size in [8usize, 16, 32] {
+        let pts = random_points(view_size + 1, 300.0, 300.0, 11);
+        let view: Vec<NeighborEntry> = pts[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| NeighborEntry {
+                id: NodeId(i as u32 + 1),
+                pos: p,
+                heard_at: SimTime::from_secs(1.0),
+            })
+            .collect();
+        let one_hop: Vec<NodeId> = view.iter().map(|e| e.id).collect();
+        for (name, mode) in [
+            ("local_delaunay", SpannerMode::LocalDelaunay),
+            ("k_local", SpannerMode::KLocalDelaunay),
+        ] {
+            g.bench_function(BenchmarkId::new(name, view_size), |b| {
+                b.iter(|| {
+                    spanner_neighbors(
+                        black_box(pts[0]),
+                        black_box(&view),
+                        &one_hop,
+                        150.0,
+                        2,
+                        mode,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ldtg_local_view(c: &mut Criterion) {
+    let pts = random_points(30, 300.0, 300.0, 13);
+    c.bench_function("ldtg_local_neighbors/30", |b| {
+        b.iter(|| ldtg_local_neighbors(black_box(&pts), 0, 150.0, 2))
+    });
+}
+
+fn bench_dstd(c: &mut Criterion) {
+    let pts = random_points(24, 200.0, 200.0, 3);
+    let nbrs: Vec<(usize, Point2)> = pts.iter().copied().enumerate().skip(1).collect();
+    let me = pts[0];
+    let dst = Point2::new(5000.0, 5000.0);
+    c.bench_function("dstd_next_hop/24", |b| {
+        b.iter(|| {
+            (
+                dstd_next_hop(black_box(me), dst, &nbrs, DstdKind::Max),
+                dstd_next_hop(black_box(me), dst, &nbrs, DstdKind::Min),
+                dstd_next_hop(black_box(me), dst, &nbrs, DstdKind::Mid(0)),
+            )
+        })
+    });
+}
+
+fn bench_face_route(c: &mut Criterion) {
+    // Offline GFG on a connected LDTG.
+    let mut seed = 17;
+    let (pts, g) = loop {
+        let pts = random_points(60, 1000.0, 1000.0, seed);
+        let udg = unit_disk_graph(&pts, 300.0);
+        if udg.is_connected() {
+            break (pts.clone(), k_ldtg(&pts, 300.0, 2));
+        }
+        seed += 1;
+    };
+    c.bench_function("greedy_face_route/60", |b| {
+        b.iter(|| greedy_face_route(black_box(&g), &pts, 0, 59, 10_000))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_delaunay,
+    bench_k_ldtg,
+    bench_local_spanner,
+    bench_ldtg_local_view,
+    bench_dstd,
+    bench_face_route
+);
+criterion_main!(kernels);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of whole-simulation throughput: how fast the DES
+//! engine pushes a paper-scale scenario, per protocol and radio range.
+//!
+//! These are wall-clock efficiency benchmarks of the *simulator* (events
+//! per second), complementing the `experiments` binary which reports the
+//! *protocol* metrics of every paper table/figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glr_core::{Glr, GlrConfig};
+use glr_epidemic::Epidemic;
+use glr_sim::{SimConfig, Simulation, Workload};
+use std::hint::black_box;
+
+/// Short but representative slice of the paper scenario: 50 nodes, 300
+/// simulated seconds, 200 messages.
+fn short_config(radius: f64) -> SimConfig {
+    SimConfig::paper(radius, 42).with_duration(300.0)
+}
+
+fn bench_glr_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_glr");
+    g.sample_size(10);
+    for radius in [50.0, 100.0, 250.0] {
+        g.bench_function(BenchmarkId::from_parameter(radius as u64), |b| {
+            b.iter(|| {
+                let cfg = short_config(radius);
+                let wl = Workload::paper_style(50, 200, 1000);
+                let stats =
+                    Simulation::new(black_box(cfg), wl, Glr::factory(GlrConfig::paper())).run();
+                black_box(stats.messages_delivered())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_epidemic_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_epidemic");
+    g.sample_size(10);
+    for radius in [50.0, 100.0, 250.0] {
+        g.bench_function(BenchmarkId::from_parameter(radius as u64), |b| {
+            b.iter(|| {
+                let cfg = short_config(radius);
+                let wl = Workload::paper_style(50, 200, 1000);
+                let stats = Simulation::new(black_box(cfg), wl, Epidemic::new).run();
+                black_box(stats.messages_delivered())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_idle_engine(c: &mut Criterion) {
+    // Engine overhead floor: beacons + stats sampling, no traffic.
+    struct Idle;
+    impl glr_sim::Protocol for Idle {
+        type Packet = ();
+        fn on_message_created(&mut self, _: &mut glr_sim::Ctx<'_, ()>, _: glr_sim::MessageInfo) {}
+        fn on_packet(&mut self, _: &mut glr_sim::Ctx<'_, ()>, _: glr_sim::NodeId, _: ()) {}
+    }
+    c.bench_function("sim_idle/300s", |b| {
+        b.iter(|| {
+            let cfg = short_config(100.0);
+            Simulation::new(black_box(cfg), Workload::default(), |_, _| Idle).run()
+        })
+    });
+}
+
+criterion_group!(
+    simulation,
+    bench_glr_simulation,
+    bench_epidemic_simulation,
+    bench_idle_engine
+);
+criterion_main!(simulation);

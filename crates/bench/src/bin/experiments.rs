@@ -1,0 +1,481 @@
+//! Regenerates every table and figure of the paper's evaluation section,
+//! plus the ablations called out in DESIGN.md.
+//!
+//! ```text
+//! cargo run --release -p glr-bench --bin experiments -- all
+//! cargo run --release -p glr-bench --bin experiments -- fig4 tab6
+//! cargo run --release -p glr-bench --bin experiments -- --full fig7
+//! cargo run --release -p glr-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Effort levels: `--quick` (2 seeds, quarter workloads — CI smoke),
+//! default (5 seeds, full workloads), `--full` (10 seeds, full workloads —
+//! the paper's protocol). All values print as `mean ± 90 % CI` like the
+//! paper's tables.
+
+use glr_bench::{
+    fmt_summary, header, plot_data, row, run_epidemic, run_glr, svg_topology, Effort, Series,
+};
+use glr_core::{CopyPolicy, GlrConfig, LocationMode, SpannerMode};
+use glr_geometry::{
+    euclidean_stretch, extract_dstd_path, k_ldtg, unit_disk_graph, DstdKind, Point2,
+};
+use glr_sim::SimConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::DEFAULT;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => effort = Effort::FULL,
+            "--quick" => effort = Effort::QUICK,
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [--quick|--full] <id>...\n  ids: fig1 fig2 fig3 tab2 fig4 fig5 \
+             fig6 tab3 fig7 tab4 tab5 tab6 ablation-spanner ablation-copies ablation-perturb all"
+        );
+        std::process::exit(2);
+    }
+    let all = ids.iter().any(|i| i == "all");
+    let want = |id: &str| all || ids.iter().any(|i| i == id);
+    println!(
+        "GLR reproduction experiments — {} runs/point, workload scale {}/1000",
+        effort.runs, effort.scale_pm
+    );
+
+    if want("fig1") {
+        fig1(effort);
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig3") {
+        fig3(effort);
+    }
+    if want("tab2") {
+        tab2(effort);
+    }
+    if want("fig4") {
+        fig45(effort, 50.0, "Figure 4");
+    }
+    if want("fig5") {
+        fig45(effort, 100.0, "Figure 5");
+    }
+    if want("fig6") {
+        fig6(effort);
+    }
+    if want("tab3") {
+        tab3(effort);
+    }
+    if want("fig7") {
+        fig7(effort);
+    }
+    if want("tab4") {
+        tab4(effort);
+    }
+    if want("tab5") {
+        tab5(effort);
+    }
+    if want("tab6") {
+        tab6(effort);
+    }
+    if want("ablation-spanner") {
+        ablation_spanner(effort);
+    }
+    if want("ablation-copies") {
+        ablation_copies(effort);
+    }
+    if want("ablation-perturb") {
+        ablation_perturb(effort);
+    }
+}
+
+/// Figure 1: connectivity of 50 static nodes in 1000 m x 1000 m at 250 m
+/// vs 100 m radius, plus the LDTG spanner built on top.
+fn fig1(effort: Effort) {
+    header(
+        "Figure 1 — topology, 50 nodes in 1000x1000 m",
+        &["edges", "components", "connected %", "LDTG edges", "LDTG stretch"],
+    );
+    let _ = std::fs::create_dir_all("artifacts");
+    for radius in [250.0, 100.0] {
+        let mut edges = Vec::new();
+        let mut comps = Vec::new();
+        let mut connected = Vec::new();
+        let mut ldtg_edges = Vec::new();
+        let mut stretch = Vec::new();
+        for seed in 0..effort.runs.max(5) as u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let pts: Vec<Point2> = (0..50)
+                .map(|_| Point2::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+                .collect();
+            let udg = unit_disk_graph(&pts, radius);
+            edges.push(udg.edge_count() as f64);
+            comps.push(udg.connected_components().len() as f64);
+            connected.push(if udg.is_connected() { 100.0 } else { 0.0 });
+            let ldtg = k_ldtg(&pts, radius, 2);
+            if seed == 0 {
+                // Drop the Figure 1 artefacts for the first instance.
+                let svg = svg_topology(&pts, &udg, &[], &[], 1000.0, 1000.0);
+                let _ = std::fs::write(format!("artifacts/fig1_udg_{radius:.0}m.svg"), svg);
+                let svg = svg_topology(&pts, &ldtg, &[], &[], 1000.0, 1000.0);
+                let _ = std::fs::write(format!("artifacts/fig1_ldtg_{radius:.0}m.svg"), svg);
+            }
+            ldtg_edges.push(ldtg.edge_count() as f64);
+            let s = euclidean_stretch(&ldtg, &pts);
+            if s.max_stretch.is_finite() {
+                stretch.push(s.max_stretch);
+            }
+        }
+        row(
+            &format!("radius {radius} m"),
+            &[
+                fmt_summary(glr_sim::summarize(&edges), 1),
+                fmt_summary(glr_sim::summarize(&comps), 1),
+                fmt_summary(glr_sim::summarize(&connected), 0),
+                fmt_summary(glr_sim::summarize(&ldtg_edges), 1),
+                fmt_summary(glr_sim::summarize(&stretch), 2),
+            ],
+        );
+    }
+    println!(
+        "  (paper: at 250 m the graph is connected or nearly so; at 100 m connection is \
+         'almost impossible')"
+    );
+}
+
+/// Figure 2: MaxDSTD vs MinDSTD tree extraction on a static spanner.
+fn fig2() {
+    header("Figure 2 — DSTD tree extraction (illustration)", &["path"]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pts: Vec<Point2> = (0..30)
+        .map(|_| Point2::new(rng.random_range(0.0..800.0), rng.random_range(0.0..800.0)))
+        .collect();
+    let g = k_ldtg(&pts, 320.0, 2);
+    for kind in [DstdKind::Max, DstdKind::Min, DstdKind::Mid(0)] {
+        let path = extract_dstd_path(&g, &pts, 0, 29, kind, 60);
+        let hops = path.len() - 1;
+        let reached = path.last() == Some(&29);
+        row(
+            &kind.to_string(),
+            &[format!(
+                "{hops} hops, reached: {reached}, route {:?}",
+                path.iter().take(12).collect::<Vec<_>>()
+            )],
+        );
+    }
+    println!("  (paper: Max and Min trees trace different routes from S to T)");
+}
+
+/// Figure 3: delivery latency vs route check interval (1980 msgs, 100 m).
+fn fig3(effort: Effort) {
+    header(
+        "Figure 3 — latency vs check interval (1980 msgs, 100 m)",
+        &["latency (s)", "delivery %", "control tx"],
+    );
+    let messages = effort.scale(1980);
+    for interval in [0.6, 0.8, 1.0, 1.2, 1.4, 1.6] {
+        let sim = SimConfig::paper(100.0, 40);
+        let glr = GlrConfig::paper().with_check_interval(interval);
+        let mr = run_glr(&sim, &glr, messages, effort.runs);
+        row(
+            &format!("check interval {interval:.1} s"),
+            &[
+                fmt_summary(mr.avg_latency(sim.sim_duration), 1),
+                fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(mr.metric(|r| r.control_tx as f64), 0),
+            ],
+        );
+    }
+    println!("  (paper: latency 18-25 s; shorter checks => lower latency, more control traffic)");
+}
+
+/// Table 2: impact of destination-location knowledge (50 m, 3800 s).
+fn tab2(effort: Effort) {
+    header(
+        "Table 2 — location availability (50 m, 3800 s)",
+        &["delivery %", "latency (s)", "hops", "avg peak storage"],
+    );
+    let messages = effort.scale(1980);
+    let scenarios: [(&str, LocationMode, CopyPolicy); 4] = [
+        ("1 copy / all know", LocationMode::AllKnow, CopyPolicy::Fixed(1)),
+        ("3 copies / source knows", LocationMode::SourceKnows, CopyPolicy::Fixed(3)),
+        ("1 copy / source knows", LocationMode::SourceKnows, CopyPolicy::Fixed(1)),
+        ("3 copies / none know", LocationMode::NoneKnow, CopyPolicy::Fixed(3)),
+    ];
+    for (label, mode, policy) in scenarios {
+        let sim = SimConfig::paper(50.0, 50);
+        let glr = GlrConfig::paper()
+            .with_location_mode(mode)
+            .with_copy_policy(policy);
+        let mr = run_glr(&sim, &glr, messages, effort.runs);
+        row(
+            label,
+            &[
+                fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(mr.avg_latency(sim.sim_duration), 1),
+                fmt_summary(mr.avg_hops(), 1),
+                fmt_summary(mr.avg_peak_storage(), 1),
+            ],
+        );
+    }
+    println!(
+        "  (paper: 100/100/100/99.9 %; 120.2/149.7/156.1/212.4 s; 14.9/17.3/18/23.1 hops; \
+         38.3/43.6/40.3/50.9 stored)"
+    );
+}
+
+/// Figures 4 & 5: latency vs number of messages, GLR vs epidemic.
+fn fig45(effort: Effort, radius: f64, tag: &str) {
+    header(
+        &format!("{tag} — latency vs messages in transit ({radius} m)"),
+        &["GLR latency (s)", "GLR delivery %", "Epi latency (s)", "Epi delivery %"],
+    );
+    let mut glr_series = Series {
+        label: "GLR".into(),
+        points: Vec::new(),
+    };
+    let mut epi_series = Series {
+        label: "Epidemic".into(),
+        points: Vec::new(),
+    };
+    for base in [400usize, 890, 1480, 1980] {
+        let messages = effort.scale(base);
+        let sim = SimConfig::paper(radius, 60);
+        let g = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        let e = run_epidemic(&sim, messages, effort.runs);
+        let gl = g.avg_latency(sim.sim_duration);
+        let el = e.avg_latency(sim.sim_duration);
+        glr_series.points.push((base as f64, gl.mean, gl.ci90));
+        epi_series.points.push((base as f64, el.mean, el.ci90));
+        row(
+            &format!("{base} messages"),
+            &[
+                fmt_summary(gl, 1),
+                fmt_summary(g.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(el, 1),
+                fmt_summary(e.metric(|r| r.delivery_ratio() * 100.0), 1),
+            ],
+        );
+    }
+    let _ = std::fs::create_dir_all("artifacts");
+    let _ = std::fs::write(
+        format!("artifacts/latency_vs_messages_{radius:.0}m.dat"),
+        plot_data(
+            &format!("{tag}: latency vs messages at {radius} m"),
+            &[glr_series, epi_series],
+        ),
+    );
+    println!("  (paper: GLR below epidemic, gap widening as messages increase)");
+}
+
+/// Figure 6: latency vs radius, 1980 messages.
+fn fig6(effort: Effort) {
+    header(
+        "Figure 6 — latency vs radius (1980 msgs)",
+        &["GLR latency (s)", "GLR delivery %", "Epi latency (s)", "Epi delivery %"],
+    );
+    let messages = effort.scale(1980);
+    for radius in [50.0, 100.0, 150.0, 200.0, 250.0] {
+        let sim = SimConfig::paper(radius, 70);
+        let g = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        let e = run_epidemic(&sim, messages, effort.runs);
+        row(
+            &format!("radius {radius} m"),
+            &[
+                fmt_summary(g.avg_latency(sim.sim_duration), 1),
+                fmt_summary(g.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(e.avg_latency(sim.sim_duration), 1),
+                fmt_summary(e.metric(|r| r.delivery_ratio() * 100.0), 1),
+            ],
+        );
+    }
+    println!("  (paper: both fall with radius; GLR below epidemic throughout)");
+}
+
+/// Table 3: delivery ratio with and without custody transfer
+/// (890 msgs, 50 m, 1200 s).
+fn tab3(effort: Effort) {
+    header(
+        "Table 3 — custody transfer (890 msgs, 50 m, 1200 s)",
+        &["delivery %"],
+    );
+    let messages = effort.scale(890);
+    for custody in [false, true] {
+        let sim = SimConfig::paper(50.0, 80).with_duration(1200.0);
+        let glr = GlrConfig::paper().with_custody(custody);
+        let mr = run_glr(&sim, &glr, messages, effort.runs);
+        row(
+            if custody { "with custody" } else { "without custody" },
+            &[fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1)],
+        );
+    }
+    println!("  (paper: 84.7 % without, 97.9 % with)");
+}
+
+/// Figure 7: delivery ratio vs per-node storage limit (50 m, 1980 msgs).
+fn fig7(effort: Effort) {
+    header(
+        "Figure 7 — delivery ratio vs storage limit (50 m)",
+        &["GLR delivery %", "Epidemic delivery %"],
+    );
+    let messages = effort.scale(1980);
+    for limit in [25usize, 50, 100, 150, 200] {
+        let sim = SimConfig::paper(50.0, 90).with_storage_limit(limit);
+        let g = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        let e = run_epidemic(&sim, messages, effort.runs);
+        row(
+            &format!("{limit} msgs/node"),
+            &[
+                fmt_summary(g.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(e.metric(|r| r.delivery_ratio() * 100.0), 1),
+            ],
+        );
+    }
+    println!("  (paper: GLR flat near 100 % down to 100 msgs/node; epidemic degrades below 200)");
+}
+
+/// Table 4: GLR storage vs number of messages (50 m, 3 copies).
+fn tab4(effort: Effort) {
+    header(
+        "Table 4 — GLR storage vs messages (50 m, 3 copies)",
+        &["max peak", "avg peak"],
+    );
+    for base in [400usize, 600, 890, 1180, 1980] {
+        let messages = effort.scale(base);
+        let sim = SimConfig::paper(50.0, 100);
+        let mr = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        row(
+            &format!("{base} messages"),
+            &[
+                fmt_summary(mr.max_peak_storage(), 1),
+                fmt_summary(mr.avg_peak_storage(), 2),
+            ],
+        );
+    }
+    println!("  (paper: max peak 39->69, avg peak 21.3->43.6; epidemic stores every message)");
+}
+
+/// Table 5: GLR storage vs radius (1980 msgs).
+fn tab5(effort: Effort) {
+    header(
+        "Table 5 — GLR storage vs radius (1980 msgs)",
+        &["max peak", "avg peak"],
+    );
+    let messages = effort.scale(1980);
+    for radius in [250.0, 200.0, 150.0, 100.0, 50.0] {
+        let sim = SimConfig::paper(radius, 110);
+        let mr = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        row(
+            &format!("radius {radius} m"),
+            &[
+                fmt_summary(mr.max_peak_storage(), 1),
+                fmt_summary(mr.avg_peak_storage(), 2),
+            ],
+        );
+    }
+    println!("  (paper: 6.9/14.3/24.3/48.4/69 max peak — storage grows as radius shrinks)");
+}
+
+/// Table 6: hop counts vs radius, GLR vs epidemic (1980 msgs).
+fn tab6(effort: Effort) {
+    header(
+        "Table 6 — hop counts (1980 msgs)",
+        &["GLR hops", "Epidemic hops"],
+    );
+    let messages = effort.scale(1980);
+    for radius in [250.0, 200.0, 150.0, 100.0, 50.0] {
+        let sim = SimConfig::paper(radius, 120);
+        let g = run_glr(&sim, &GlrConfig::paper(), messages, effort.runs);
+        let e = run_epidemic(&sim, messages, effort.runs);
+        row(
+            &format!("radius {radius} m"),
+            &[fmt_summary(g.avg_hops(), 2), fmt_summary(e.avg_hops(), 2)],
+        );
+    }
+    println!("  (paper: GLR 3.4->17.32, epidemic 3.19->3.92 — GLR takes more hops, gap grows)");
+}
+
+/// Ablation: spanner construction fidelity (one Delaunay pass vs the full
+/// witness-checked k-LDTG rule).
+fn ablation_spanner(effort: Effort) {
+    header(
+        "Ablation — local spanner construction (100 m, 890 msgs)",
+        &["latency (s)", "delivery %", "data tx"],
+    );
+    let messages = effort.scale(890);
+    for (label, mode) in [
+        ("LocalDelaunay (fast)", SpannerMode::LocalDelaunay),
+        ("KLocalDelaunay (paper)", SpannerMode::KLocalDelaunay),
+    ] {
+        let sim = SimConfig::paper(100.0, 130);
+        let glr = GlrConfig::paper().with_spanner(mode);
+        let mr = run_glr(&sim, &glr, messages, effort.runs);
+        row(
+            label,
+            &[
+                fmt_summary(mr.avg_latency(sim.sim_duration), 1),
+                fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(mr.metric(|r| r.data_tx as f64), 0),
+            ],
+        );
+    }
+}
+
+/// Ablation: copy-count policy (Algorithm 1 vs fixed).
+fn ablation_copies(effort: Effort) {
+    header(
+        "Ablation — copy policy (890 msgs)",
+        &["latency 100 m (s)", "delivery % 100 m", "latency 200 m (s)", "delivery % 200 m"],
+    );
+    let messages = effort.scale(890);
+    for (label, policy) in [
+        ("fixed 1 copy", CopyPolicy::Fixed(1)),
+        ("fixed 3 copies", CopyPolicy::Fixed(3)),
+        ("adaptive (Algorithm 1)", CopyPolicy::PAPER),
+    ] {
+        let glr = GlrConfig::paper().with_copy_policy(policy);
+        let sim100 = SimConfig::paper(100.0, 140);
+        let sim200 = SimConfig::paper(200.0, 150);
+        let a = run_glr(&sim100, &glr, messages, effort.runs);
+        let b = run_glr(&sim200, &glr, messages, effort.runs);
+        row(
+            label,
+            &[
+                fmt_summary(a.avg_latency(sim100.sim_duration), 1),
+                fmt_summary(a.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(b.avg_latency(sim200.sim_duration), 1),
+                fmt_summary(b.metric(|r| r.delivery_ratio() * 100.0), 1),
+            ],
+        );
+    }
+}
+
+/// Ablation: stale-location perturbation variants.
+fn ablation_perturb(effort: Effort) {
+    header(
+        "Ablation — perturbation gossip (100 m, 890 msgs)",
+        &["latency (s)", "delivery %", "perturbations"],
+    );
+    let messages = effort.scale(890);
+    for (label, gossip) in [("shared rendezvous (default)", true), ("message-local guess", false)] {
+        let sim = SimConfig::paper(100.0, 160);
+        let mut glr = GlrConfig::paper();
+        glr.perturb_gossip = gossip;
+        let mr = run_glr(&sim, &glr, messages, effort.runs);
+        row(
+            label,
+            &[
+                fmt_summary(mr.avg_latency(sim.sim_duration), 1),
+                fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1),
+                fmt_summary(mr.metric(|r| r.event_count("glr.perturb") as f64), 0),
+            ],
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared experiment plumbing for the GLR reproduction harness.
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper; this library holds the pieces it shares with the Criterion
+//! benches: run drivers for both protocols, workload sizing, and
+//! paper-style table printing.
+
+#![warn(missing_docs)]
+
+mod render;
+
+pub use render::{plot_data, svg_topology, Series};
+
+use glr_core::{Glr, GlrConfig};
+use glr_epidemic::Epidemic;
+use glr_sim::{MultiRun, RunStats, SimConfig, Simulation, Summary, Workload};
+
+/// How much simulation an experiment buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Independent runs (seeds) per data point. The paper uses 10.
+    pub runs: usize,
+    /// Scale factor (per mille) applied to workload sizes. 1000 = paper
+    /// scale.
+    pub scale_pm: u32,
+}
+
+impl Effort {
+    /// Paper-fidelity effort: 10 runs, full workloads.
+    pub const FULL: Effort = Effort {
+        runs: 10,
+        scale_pm: 1000,
+    };
+
+    /// Default effort: 5 runs, full workloads.
+    pub const DEFAULT: Effort = Effort {
+        runs: 5,
+        scale_pm: 1000,
+    };
+
+    /// Smoke-test effort for CI: 2 runs, quarter workloads.
+    pub const QUICK: Effort = Effort {
+        runs: 2,
+        scale_pm: 250,
+    };
+
+    /// Scales a workload size.
+    pub fn scale(&self, count: usize) -> usize {
+        ((count as u64 * self.scale_pm as u64) / 1000).max(1) as usize
+    }
+}
+
+/// Runs GLR over `runs` seeds with the given configs and message count.
+pub fn run_glr(sim: &SimConfig, glr: &GlrConfig, messages: usize, runs: usize) -> MultiRun {
+    let glr_cfg = glr.clone();
+    MultiRun::execute(sim, runs, move |cfg| {
+        let wl = Workload::paper_style(cfg.n_nodes, messages, 1000);
+        let factory = Glr::factory(glr_cfg.clone());
+        Simulation::new(cfg, wl, factory).run()
+    })
+}
+
+/// Runs epidemic routing over `runs` seeds.
+pub fn run_epidemic(sim: &SimConfig, messages: usize, runs: usize) -> MultiRun {
+    MultiRun::execute(sim, runs, move |cfg| {
+        let wl = Workload::paper_style(cfg.n_nodes, messages, 1000);
+        Simulation::new(cfg, wl, Epidemic::new).run()
+    })
+}
+
+/// Runs a single GLR simulation (for benches needing one deterministic run).
+pub fn single_glr(sim: SimConfig, glr: GlrConfig, messages: usize) -> RunStats {
+    let wl = Workload::paper_style(sim.n_nodes, messages, 1000);
+    Simulation::new(sim, wl, Glr::factory(glr)).run()
+}
+
+/// Renders `mean ± ci` with sensible precision.
+pub fn fmt_summary(s: Summary, decimals: usize) -> String {
+    format!("{:.*} ± {:.*}", decimals, s.mean, decimals, s.ci90)
+}
+
+/// Prints a table row: a label column then value columns.
+pub fn row(label: &str, cells: &[String]) {
+    print!("  {label:<26}");
+    for c in cells {
+        print!(" | {c:>18}");
+    }
+    println!();
+}
+
+/// Prints a table header and a rule underneath.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    print!("  {:<26}", "");
+    for c in columns {
+        print!(" | {c:>18}");
+    }
+    println!();
+    println!("  {}", "-".repeat(26 + columns.len() * 21));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        assert_eq!(Effort::FULL.scale(1980), 1980);
+        assert_eq!(Effort::QUICK.scale(1980), 495);
+        assert_eq!(Effort::QUICK.scale(1), 1);
+    }
+
+    #[test]
+    fn glr_and_epidemic_drivers_run() {
+        let sim = SimConfig::paper(250.0, 42).with_duration(30.0);
+        let g = run_glr(&sim, &GlrConfig::paper(), 5, 2);
+        assert_eq!(g.runs().len(), 2);
+        let e = run_epidemic(&sim, 5, 2);
+        assert_eq!(e.runs().len(), 2);
+        // Both protocols must have injected the workload.
+        assert!(g.runs().iter().all(|r| r.messages_created() == 5));
+        assert!(e.runs().iter().all(|r| r.messages_created() == 5));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let s = glr_sim::summarize(&[1.0, 2.0, 3.0]);
+        let txt = fmt_summary(s, 1);
+        assert!(txt.contains("2.0"));
+    }
+}

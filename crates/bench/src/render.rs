@@ -1,0 +1,183 @@
+//! Figure rendering: SVG topology plots (paper Figure 1/2 style) and
+//! gnuplot-ready data series for the latency/ratio curves.
+//!
+//! The `experiments` binary uses these to drop viewable artefacts next to
+//! the printed tables, so the reproduction produces actual figures, not
+//! just numbers.
+
+use glr_geometry::{Graph, Point2};
+use std::fmt::Write as _;
+
+/// Renders a node deployment and graph as a standalone SVG document.
+///
+/// Nodes are dots (the `highlight` set, e.g. a source/destination pair, in
+/// red), edges are line segments. An optional `path` is drawn thick and
+/// dashed on top — handy for DSTD tree illustrations.
+///
+/// # Examples
+///
+/// ```
+/// use glr_bench::svg_topology;
+/// use glr_geometry::{Graph, Point2};
+///
+/// let pts = vec![Point2::new(0.0, 0.0), Point2::new(100.0, 50.0)];
+/// let mut g = Graph::new(2);
+/// g.add_edge(0, 1);
+/// let svg = svg_topology(&pts, &g, &[0], &[0, 1], 200.0, 100.0);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("<line"));
+/// ```
+pub fn svg_topology(
+    points: &[Point2],
+    graph: &Graph,
+    highlight: &[usize],
+    path: &[usize],
+    width: f64,
+    height: f64,
+) -> String {
+    assert_eq!(points.len(), graph.len(), "points must match graph vertices");
+    let margin = 20.0;
+    let w = width + 2.0 * margin;
+    let h = height + 2.0 * margin;
+    // SVG y grows downward; flip so the plot reads like the paper's figures.
+    let tx = |p: Point2| (p.x + margin, height - p.y + margin);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w:.0} {h:.0}\" \
+         width=\"{w:.0}\" height=\"{h:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    );
+    for (u, v) in graph.edges() {
+        let (x1, y1) = tx(points[u]);
+        let (x2, y2) = tx(points[v]);
+        let _ = writeln!(
+            s,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke=\"#8899aa\" stroke-width=\"1\"/>"
+        );
+    }
+    for w2 in path.windows(2) {
+        let (x1, y1) = tx(points[w2[0]]);
+        let (x2, y2) = tx(points[w2[1]]);
+        let _ = writeln!(
+            s,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke=\"#cc3333\" stroke-width=\"3\" stroke-dasharray=\"6,3\"/>"
+        );
+    }
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = tx(p);
+        let color = if highlight.contains(&i) { "#cc3333" } else { "#224488" };
+        let r = if highlight.contains(&i) { 5.0 } else { 3.0 };
+        let _ = writeln!(
+            s,
+            "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r}\" fill=\"{color}\"/>"
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// One curve of a figure: a label plus `(x, y, ci)` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y, 90 % CI half-width)` points.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Renders one or more series as a gnuplot-ready data file with `#`
+/// comment headers: columns `x y ci`, blank-line separated blocks per
+/// series (gnuplot `index` convention).
+///
+/// ```
+/// use glr_bench::{plot_data, Series};
+///
+/// let s = plot_data("latency vs messages", &[Series {
+///     label: "GLR".into(),
+///     points: vec![(400.0, 27.8, 11.5), (890.0, 51.1, 57.7)],
+/// }]);
+/// assert!(s.contains("# series: GLR"));
+/// assert!(s.contains("400"));
+/// ```
+pub fn plot_data(title: &str, series: &[Series]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(s, "# columns: x y ci90");
+    for sr in series {
+        let _ = writeln!(s, "\n# series: {}", sr.label);
+        for &(x, y, ci) in &sr.points {
+            let _ = writeln!(s, "{x} {y} {ci}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<Point2>, Graph) {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(50.0, 10.0),
+            Point2::new(100.0, 0.0),
+        ];
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        (pts, g)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let (pts, g) = toy();
+        let svg = svg_topology(&pts, &g, &[0, 2], &[0, 1, 2], 100.0, 20.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // 2 graph edges + 2 path segments.
+        assert_eq!(svg.matches("<line").count(), 4);
+        // Highlighted nodes get the red fill.
+        assert_eq!(svg.matches("#cc3333").count(), 2 + 2); // 2 path lines + 2 nodes
+    }
+
+    #[test]
+    #[should_panic(expected = "points must match")]
+    fn svg_checks_sizes() {
+        let (pts, _) = toy();
+        svg_topology(&pts, &Graph::new(5), &[], &[], 10.0, 10.0);
+    }
+
+    #[test]
+    fn plot_data_blocks() {
+        let out = plot_data(
+            "t",
+            &[
+                Series {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0, 0.1)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(3.0, 4.0, 0.2), (5.0, 6.0, 0.3)],
+                },
+            ],
+        );
+        assert!(out.contains("# series: a"));
+        assert!(out.contains("# series: b"));
+        assert!(out.contains("1 2 0.1"));
+        assert!(out.contains("5 6 0.3"));
+        // Two blocks separated by blank lines.
+        assert_eq!(out.matches("\n\n").count(), 2);
+    }
+
+    #[test]
+    fn svg_empty_graph_still_valid() {
+        let svg = svg_topology(&[], &Graph::new(0), &[], &[], 10.0, 10.0);
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The delay-tolerant decision process (paper Algorithm 1).
+//!
+//! Before a source injects a message it decides how many identical copies
+//! to launch. The decision uses only globally-known constants — node count,
+//! radio range, region area — through the Georgiou et al. connectivity
+//! bound: dense networks that are probably connected get a **single copy**
+//! (more would only add contention); sparse, probably-partitioned networks
+//! get **multiple copies** along different DSTD trees to cut delay.
+
+use glr_geometry::connectivity_probability;
+use glr_mobility::Region;
+
+/// Copy-count policy for GLR sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyPolicy {
+    /// Always use this many copies (ablation baseline).
+    Fixed(usize),
+    /// Algorithm 1: single copy when the connectivity probability is at
+    /// least the threshold (as per mille, 0–1000), multiple otherwise.
+    Adaptive {
+        /// Connectivity-probability threshold in per-mille (e.g. 500 =
+        /// 0.5). Stored as an integer so the policy stays `Eq`/hashable.
+        threshold_pm: u16,
+        /// Copies used in the sparse regime (the paper uses 3).
+        sparse_copies: usize,
+        /// Copies in the *extremely* sparse regime (connectivity
+        /// probability indistinguishable from zero at half the threshold
+        /// radius); extra copies take additional MidDSTD trees.
+        very_sparse_copies: usize,
+    },
+}
+
+impl Default for CopyPolicy {
+    fn default() -> Self {
+        CopyPolicy::PAPER
+    }
+}
+
+impl CopyPolicy {
+    /// The paper's configuration: threshold 0.5, three copies when sparse.
+    /// With 50 nodes in the 1500 m x 300 m strip this yields 3 copies at
+    /// 50/100 m and 1 copy at 150/200/250 m — exactly the regimes used in
+    /// Figures 4–7 and Tables 4–6.
+    pub const PAPER: CopyPolicy = CopyPolicy::Adaptive {
+        threshold_pm: 500,
+        sparse_copies: 3,
+        very_sparse_copies: 3,
+    };
+
+    /// Number of copies a source should launch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glr_core::CopyPolicy;
+    /// use glr_mobility::Region;
+    ///
+    /// let policy = CopyPolicy::PAPER;
+    /// // The paper's regimes:
+    /// assert_eq!(policy.copies(50, 100.0, Region::PAPER_STRIP), 3);
+    /// assert_eq!(policy.copies(50, 150.0, Region::PAPER_STRIP), 1);
+    /// ```
+    pub fn copies(&self, n_nodes: usize, radio_range: f64, region: Region) -> usize {
+        match *self {
+            CopyPolicy::Fixed(k) => k.max(1),
+            CopyPolicy::Adaptive {
+                threshold_pm,
+                sparse_copies,
+                very_sparse_copies,
+            } => {
+                let p = connectivity_probability(
+                    n_nodes.max(2),
+                    radio_range,
+                    region.width(),
+                    region.height(),
+                );
+                if p >= threshold_pm as f64 / 1000.0 {
+                    1
+                } else {
+                    // Probe the "half radius" regime for extreme sparsity.
+                    let p_half = connectivity_probability(
+                        n_nodes.max(2),
+                        radio_range * 2.0,
+                        region.width(),
+                        region.height(),
+                    );
+                    if p_half < threshold_pm as f64 / 1000.0 {
+                        very_sparse_copies.max(sparse_copies)
+                    } else {
+                        sparse_copies
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_regimes_match_evaluation() {
+        let p = CopyPolicy::PAPER;
+        let strip = Region::PAPER_STRIP;
+        // "3 copies for 50m/100m and 1 copy for 150m/200m/250m".
+        assert_eq!(p.copies(50, 50.0, strip), 3);
+        assert_eq!(p.copies(50, 100.0, strip), 3);
+        assert_eq!(p.copies(50, 150.0, strip), 1);
+        assert_eq!(p.copies(50, 200.0, strip), 1);
+        assert_eq!(p.copies(50, 250.0, strip), 1);
+    }
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let p = CopyPolicy::Fixed(5);
+        assert_eq!(p.copies(50, 50.0, Region::PAPER_STRIP), 5);
+        assert_eq!(p.copies(50, 250.0, Region::PAPER_STRIP), 5);
+        // Zero is clamped to one copy.
+        assert_eq!(CopyPolicy::Fixed(0).copies(50, 50.0, Region::PAPER_STRIP), 1);
+    }
+
+    #[test]
+    fn denser_deployments_need_fewer_copies() {
+        let p = CopyPolicy::PAPER;
+        // 500 nodes in the same strip: connected even at 50 m.
+        assert_eq!(p.copies(500, 100.0, Region::PAPER_STRIP), 1);
+    }
+
+    #[test]
+    fn square_region_fig1_regimes() {
+        // Figure 1: 50 nodes in 1000x1000; 250 m is (nearly) connected,
+        // 100 m is "almost impossible" to connect.
+        let p = CopyPolicy::PAPER;
+        assert_eq!(p.copies(50, 250.0, Region::PAPER_SQUARE), 1);
+        assert!(p.copies(50, 100.0, Region::PAPER_SQUARE) >= 3);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(CopyPolicy::default(), CopyPolicy::PAPER);
+    }
+}

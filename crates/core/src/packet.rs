@@ -1,0 +1,110 @@
+//! GLR's over-the-air packet formats.
+
+use crate::location::LocationEstimate;
+use crate::storage::FaceState;
+use glr_geometry::DstdKind;
+use glr_sim::{MessageId, MessageInfo, NodeId};
+
+/// A data frame carrying one message copy one hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataPacket {
+    /// End-to-end message facts.
+    pub info: MessageInfo,
+    /// The DSTD tree this copy follows (the message "flag" of Algorithm 2).
+    pub tree: DstdKind,
+    /// Copy/branch tag for custody acknowledgements.
+    pub copy_tag: u8,
+    /// Link hops taken *including* this transmission.
+    pub hops: u32,
+    /// Destination-location estimate carried in the header (location
+    /// diffusion).
+    pub dest_est: LocationEstimate,
+    /// Face-recovery state, when the copy is in perimeter mode.
+    pub face: Option<FaceState>,
+    /// Times the destination estimate has been perturbed so far.
+    pub perturbations: u32,
+}
+
+/// GLR packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlrPacket {
+    /// A message copy moving one hop.
+    Data(DataPacket),
+    /// Custody acknowledgement for `(id, copy_tag)`, optionally carrying a
+    /// fresher destination-location estimate back to the sender.
+    HopAck {
+        /// Acknowledged message.
+        id: MessageId,
+        /// Acknowledged copy/branch.
+        copy_tag: u8,
+        /// "I know a fresher destination location than your header did."
+        fresher_dest: Option<(NodeId, LocationEstimate)>,
+    },
+    /// Part of the route check's neighbour-information collection (paper
+    /// §2.3.1): "message holder adds destination location information in
+    /// the packet which is used to collect neighbouring nodes'
+    /// information". Receivers adopt fresher entries and reply with
+    /// [`GlrPacket::LocReply`] for any destination they know better.
+    LocQuery(Vec<(NodeId, LocationEstimate)>),
+    /// Fresher destination locations returned to a querying holder.
+    LocReply(Vec<(NodeId, LocationEstimate)>),
+}
+
+/// Bytes added to the payload for GLR's data header (ids, flags, location,
+/// timestamps).
+pub const DATA_HEADER_BYTES: u32 = 32;
+/// Size of a custody acknowledgement on the wire.
+pub const ACK_BYTES: u32 = 24;
+/// Fixed header of a location query/reply.
+pub const LOC_HDR_BYTES: u32 = 12;
+/// Per-entry size of a location query/reply (id + position + timestamp).
+pub const LOC_ENTRY_BYTES: u32 = 20;
+
+impl GlrPacket {
+    /// Wire size of the packet in bytes.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            GlrPacket::Data(d) => d.info.size + DATA_HEADER_BYTES,
+            GlrPacket::HopAck { .. } => ACK_BYTES,
+            GlrPacket::LocQuery(v) | GlrPacket::LocReply(v) => {
+                LOC_HDR_BYTES + LOC_ENTRY_BYTES * v.len() as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glr_geometry::Point2;
+    use glr_sim::SimTime;
+
+    #[test]
+    fn wire_sizes() {
+        let info = MessageInfo {
+            id: MessageId {
+                src: NodeId(0),
+                seq: 1,
+            },
+            dst: NodeId(2),
+            size: 1000,
+            created: SimTime::ZERO,
+        };
+        let d = GlrPacket::Data(DataPacket {
+            info,
+            tree: DstdKind::Max,
+            copy_tag: 0,
+            hops: 1,
+            dest_est: LocationEstimate::new(Point2::ORIGIN, SimTime::ZERO),
+            face: None,
+            perturbations: 0,
+        });
+        assert_eq!(d.wire_size(), 1032);
+        let a = GlrPacket::HopAck {
+            id: info.id,
+            copy_tag: 0,
+            fresher_dest: None,
+        };
+        assert_eq!(a.wire_size(), 24);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the epidemic buffer.
+
+use glr_epidemic::{BufferedMessage, FifoBuffer};
+use glr_sim::{MessageId, MessageInfo, NodeId, SimTime};
+use proptest::prelude::*;
+
+fn msg(src: u32, seq: u32) -> BufferedMessage {
+    BufferedMessage {
+        info: MessageInfo {
+            id: MessageId {
+                src: NodeId(src),
+                seq,
+            },
+            dst: NodeId(99),
+            size: 100,
+            created: SimTime::ZERO,
+        },
+        hops: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn capacity_is_never_exceeded(cap in 0usize..30, inserts in prop::collection::vec((0u32..5, 0u32..40), 0..120)) {
+        let mut b = FifoBuffer::new(Some(cap));
+        for &(src, seq) in &inserts {
+            b.insert(msg(src, seq));
+            prop_assert!(b.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn summary_vector_matches_membership(inserts in prop::collection::vec((0u32..4, 0u32..30), 0..60)) {
+        let mut b = FifoBuffer::new(None);
+        for &(src, seq) in &inserts {
+            b.insert(msg(src, seq));
+        }
+        let sv = b.summary_vector();
+        prop_assert_eq!(sv.len(), b.len());
+        for id in &sv {
+            prop_assert!(b.contains(*id));
+        }
+        // No duplicates in the summary vector.
+        let set: std::collections::HashSet<_> = sv.iter().collect();
+        prop_assert_eq!(set.len(), sv.len());
+    }
+
+    #[test]
+    fn eviction_is_strictly_fifo(cap in 1usize..10, n in 0u32..40) {
+        let mut b = FifoBuffer::new(Some(cap));
+        let mut evicted = Vec::new();
+        for seq in 0..n {
+            if let Some(old) = b.insert(msg(0, seq)) {
+                evicted.push(old.info.id.seq);
+            }
+        }
+        // Evictions come out in insertion order: 0, 1, 2, ...
+        for (i, &seq) in evicted.iter().enumerate() {
+            prop_assert_eq!(seq as usize, i);
+        }
+        // The survivors are exactly the newest `min(n, cap)`.
+        let sv = b.summary_vector();
+        prop_assert_eq!(sv.len(), (n as usize).min(cap));
+    }
+
+    #[test]
+    fn remove_then_reinsert_roundtrips(seqs in prop::collection::vec(0u32..20, 1..20)) {
+        let mut b = FifoBuffer::new(None);
+        for &s in &seqs {
+            b.insert(msg(1, s));
+        }
+        let unique: std::collections::HashSet<_> = seqs.iter().collect();
+        prop_assert_eq!(b.len(), unique.len());
+        for &s in unique.iter() {
+            let id = msg(1, *s).info.id;
+            prop_assert!(b.remove(id).is_some());
+            prop_assert!(!b.contains(id));
+            prop_assert!(b.insert(msg(1, *s)).is_none());
+            prop_assert!(b.contains(id));
+        }
+    }
+}

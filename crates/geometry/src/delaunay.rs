@@ -1,0 +1,460 @@
+//! Delaunay triangulation via Bowyer–Watson incremental insertion.
+//!
+//! The GLR spanner is built from *local* Delaunay triangulations of k-hop
+//! neighbourhoods (at most a few dozen points each), so an `O(n^2)`
+//! incremental algorithm with exact predicates is the right trade-off:
+//! simple, robust, and fast at the sizes that matter. The implementation
+//! still handles thousands of points well enough for the benchmark suite.
+//!
+//! Degenerate inputs get the standard limit behaviour: fewer than two
+//! points yield no edges, two points yield one edge, and fully collinear
+//! sets yield the path connecting consecutive points.
+
+use crate::point::Point2;
+use crate::predicates::{incircle, orient2d, Sign};
+use std::collections::HashSet;
+
+/// A Delaunay triangulation of a point set.
+///
+/// Construct with [`Triangulation::build`]. Triangle vertices are indices
+/// into the original slice and are stored in counter-clockwise order.
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{Point2, Triangulation};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(0.0, 1.0),
+///     Point2::new(1.0, 1.0),
+/// ];
+/// let tri = Triangulation::build(&pts);
+/// assert_eq!(tri.triangles().len(), 2);
+/// assert!(tri.has_edge(0, 1));
+/// assert!(tri.has_edge(0, 3) ^ tri.has_edge(1, 2)); // one diagonal
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    triangles: Vec<[usize; 3]>,
+    edges: HashSet<(usize, usize)>,
+    num_points: usize,
+}
+
+impl Triangulation {
+    /// Builds the Delaunay triangulation of `points`.
+    ///
+    /// Duplicate points are tolerated (duplicates after the first are
+    /// skipped and end up isolated). Cocircular configurations are resolved
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    pub fn build(points: &[Point2]) -> Self {
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        }
+        let n = points.len();
+        if n < 2 {
+            return Triangulation {
+                triangles: Vec::new(),
+                edges: HashSet::new(),
+                num_points: n,
+            };
+        }
+        if n == 2 {
+            let mut edges = HashSet::new();
+            if points[0] != points[1] {
+                edges.insert(ordered(0, 1));
+            }
+            return Triangulation {
+                triangles: Vec::new(),
+                edges,
+                num_points: n,
+            };
+        }
+
+        if let Some(chain) = collinear_chain(points) {
+            return Triangulation {
+                triangles: Vec::new(),
+                edges: chain,
+                num_points: n,
+            };
+        }
+
+        Self::bowyer_watson(points)
+    }
+
+    fn bowyer_watson(points: &[Point2]) -> Self {
+        let n = points.len();
+        // Working point list: real points then three super-triangle vertices.
+        let (min, max) = crate::grid::bounding_box(points);
+        let span = (max.x - min.x).max(max.y - min.y).max(1.0);
+        let cx = (min.x + max.x) * 0.5;
+        let cy = (min.y + max.y) * 0.5;
+        // Far enough that no circumcircle of a non-degenerate real triangle
+        // reaches the super vertices at simulation scales.
+        let big = span * 1.0e6;
+        let mut pts: Vec<Point2> = points.to_vec();
+        pts.push(Point2::new(cx - 2.0 * big, cy - big));
+        pts.push(Point2::new(cx + 2.0 * big, cy - big));
+        pts.push(Point2::new(cx, cy + 2.0 * big));
+        let s0 = n;
+        let s1 = n + 1;
+        let s2 = n + 2;
+
+        let mut tris: Vec<[usize; 3]> = vec![[s0, s1, s2]];
+        let mut seen_dup: HashSet<(u64, u64)> = HashSet::new();
+
+        for p in 0..n {
+            // Skip exact duplicates: inserting them would create degenerate
+            // triangles.
+            let key = (pts[p].x.to_bits(), pts[p].y.to_bits());
+            if !seen_dup.insert(key) {
+                continue;
+            }
+            // Find all triangles whose circumcircle contains pts[p].
+            let mut bad: Vec<usize> = Vec::new();
+            for (ti, t) in tris.iter().enumerate() {
+                if in_circumcircle(&pts, *t, pts[p]) {
+                    bad.push(ti);
+                }
+            }
+            // Boundary of the cavity: edges belonging to exactly one bad
+            // triangle.
+            let mut boundary: Vec<(usize, usize)> = Vec::new();
+            for &ti in &bad {
+                let t = tris[ti];
+                for e in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                    let shared = bad.iter().any(|&tj| {
+                        tj != ti && {
+                            let u = tris[tj];
+                            let es = [ordered(u[0], u[1]), ordered(u[1], u[2]), ordered(u[2], u[0])];
+                            es.contains(&ordered(e.0, e.1))
+                        }
+                    });
+                    if !shared {
+                        boundary.push(e);
+                    }
+                }
+            }
+            // Remove bad triangles (descending order keeps indices valid).
+            for &ti in bad.iter().rev() {
+                tris.swap_remove(ti);
+            }
+            // Re-triangulate the cavity.
+            for (a, b) in boundary {
+                // Ensure counter-clockwise orientation.
+                match orient2d(pts[a], pts[b], pts[p]) {
+                    Sign::Positive => tris.push([a, b, p]),
+                    Sign::Negative => tris.push([b, a, p]),
+                    Sign::Zero => {} // degenerate sliver; skip
+                }
+            }
+        }
+
+        // Drop triangles using super vertices.
+        let triangles: Vec<[usize; 3]> = tris
+            .into_iter()
+            .filter(|t| t.iter().all(|&v| v < n))
+            .collect();
+        let mut edges = HashSet::new();
+        for t in &triangles {
+            edges.insert(ordered(t[0], t[1]));
+            edges.insert(ordered(t[1], t[2]));
+            edges.insert(ordered(t[2], t[0]));
+        }
+        Triangulation {
+            triangles,
+            edges,
+            num_points: n,
+        }
+    }
+
+    /// The triangles, each a counter-clockwise index triple.
+    #[inline]
+    pub fn triangles(&self) -> &[[usize; 3]] {
+        &self.triangles
+    }
+
+    /// Number of points the triangulation was built from.
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// `true` when `uv` is a Delaunay edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&ordered(u, v))
+    }
+
+    /// Iterates over the undirected edge set as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Converts the edge set to a [`crate::Graph`] on the same vertex indices.
+    pub fn to_graph(&self) -> crate::Graph {
+        let mut g = crate::Graph::new(self.num_points);
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+/// Circumcircle membership for Bowyer–Watson, robust to the triangle's
+/// stored orientation.
+fn in_circumcircle(pts: &[Point2], t: [usize; 3], p: Point2) -> bool {
+    let (a, b, c) = (pts[t[0]], pts[t[1]], pts[t[2]]);
+    match orient2d(a, b, c) {
+        Sign::Positive => incircle(a, b, c, p) == Sign::Positive,
+        Sign::Negative => incircle(a, c, b, p) == Sign::Positive,
+        Sign::Zero => false,
+    }
+}
+
+#[inline]
+fn ordered(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// When all points are collinear, returns the path edge set connecting
+/// consecutive distinct points along the line; `None` otherwise.
+fn collinear_chain(points: &[Point2]) -> Option<HashSet<(usize, usize)>> {
+    let n = points.len();
+    // Find two distinct points to define the line.
+    let first = points[0];
+    let anchor = (1..n).find(|&i| points[i] != first)?;
+    for i in 1..n {
+        if orient2d(first, points[anchor], points[i]) != Sign::Zero {
+            return None;
+        }
+    }
+    // Sort along the dominant axis and connect consecutive distinct points.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let dx = (points[anchor].x - first.x).abs();
+    let dy = (points[anchor].y - first.y).abs();
+    if dx >= dy {
+        idx.sort_by(|&a, &b| points[a].x.partial_cmp(&points[b].x).unwrap());
+    } else {
+        idx.sort_by(|&a, &b| points[a].y.partial_cmp(&points[b].y).unwrap());
+    }
+    let mut edges = HashSet::new();
+    let mut prev = idx[0];
+    for &i in &idx[1..] {
+        if points[i] != points[prev] {
+            edges.insert(ordered(prev, i));
+            prev = i;
+        }
+    }
+    Some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive empty-circumcircle check; cocircular points allowed on the
+    /// boundary.
+    fn assert_delaunay(points: &[Point2], tri: &Triangulation) {
+        for t in tri.triangles() {
+            let (a, b, c) = (points[t[0]], points[t[1]], points[t[2]]);
+            assert_eq!(orient2d(a, b, c), Sign::Positive, "triangle not ccw");
+            for (i, &p) in points.iter().enumerate() {
+                if t.contains(&i) {
+                    continue;
+                }
+                assert_ne!(
+                    incircle(a, b, c, p),
+                    Sign::Positive,
+                    "point {i} strictly inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    fn pseudo_random_points(n: usize, scale: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point2::new(next() * scale, next() * scale))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(Triangulation::build(&[]).edge_count(), 0);
+        assert_eq!(Triangulation::build(&[Point2::ORIGIN]).edge_count(), 0);
+    }
+
+    #[test]
+    fn two_points_single_edge() {
+        let tri = Triangulation::build(&[Point2::ORIGIN, Point2::new(1.0, 0.0)]);
+        assert!(tri.has_edge(0, 1));
+        assert_eq!(tri.edge_count(), 1);
+        assert!(tri.triangles().is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_tolerated() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 0.0), // duplicate of index 1
+        ];
+        let tri = Triangulation::build(&pts);
+        assert_eq!(tri.triangles().len(), 1);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, 1.0),
+        ];
+        let tri = Triangulation::build(&pts);
+        assert_eq!(tri.triangles().len(), 1);
+        assert_eq!(tri.edge_count(), 3);
+        assert_delaunay(&pts, &tri);
+    }
+
+    #[test]
+    fn collinear_points_form_chain() {
+        let pts = vec![
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(3.0, 3.0),
+        ];
+        let tri = Triangulation::build(&pts);
+        assert!(tri.triangles().is_empty());
+        assert_eq!(tri.edge_count(), 3);
+        assert!(tri.has_edge(1, 2));
+        assert!(tri.has_edge(2, 0));
+        assert!(tri.has_edge(0, 3));
+        assert!(!tri.has_edge(1, 3));
+    }
+
+    #[test]
+    fn vertical_collinear_chain() {
+        let pts = vec![
+            Point2::new(0.0, 3.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.0, 2.0),
+        ];
+        let tri = Triangulation::build(&pts);
+        assert_eq!(tri.edge_count(), 2);
+        assert!(tri.has_edge(1, 2));
+        assert!(tri.has_edge(2, 0));
+    }
+
+    #[test]
+    fn square_has_two_triangles() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let tri = Triangulation::build(&pts);
+        assert_eq!(tri.triangles().len(), 2);
+        // All four sides present.
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            assert!(tri.has_edge(u, v), "missing side ({u},{v})");
+        }
+        assert_delaunay(&pts, &tri);
+    }
+
+    #[test]
+    fn random_points_are_delaunay() {
+        for seed in [1, 7, 42] {
+            let pts = pseudo_random_points(60, 1000.0, seed);
+            let tri = Triangulation::build(&pts);
+            assert_delaunay(&pts, &tri);
+            // Euler: for a triangulation of a point set with h hull vertices,
+            // triangles = 2n - 2 - h and edges = 3n - 3 - h.
+            let h = crate::hull::convex_hull(&pts).len();
+            let n = pts.len();
+            assert_eq!(tri.triangles().len(), 2 * n - 2 - h, "seed {seed}");
+            assert_eq!(tri.edge_count(), 3 * n - 3 - h, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hull_edges_belong_to_triangulation() {
+        let pts = pseudo_random_points(40, 500.0, 123);
+        let tri = Triangulation::build(&pts);
+        let hull = crate::hull::convex_hull(&pts);
+        for w in 0..hull.len() {
+            let u = hull[w];
+            let v = hull[(w + 1) % hull.len()];
+            assert!(tri.has_edge(u, v), "hull edge ({u},{v}) missing");
+        }
+    }
+
+    #[test]
+    fn grid_points_cocircular_ok() {
+        // 4x4 grid: every unit square is cocircular — worst case for the
+        // incircle tie-breaking.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                pts.push(Point2::new(i as f64, j as f64));
+            }
+        }
+        let tri = Triangulation::build(&pts);
+        assert_delaunay(&pts, &tri);
+        // Euler's formula counts *boundary* vertices including collinear
+        // ones: the 4x4 grid has 12 of them (strict hull has only 4).
+        let h = 12;
+        assert_eq!(tri.triangles().len(), 2 * pts.len() - 2 - h);
+        assert_eq!(tri.edge_count(), 3 * pts.len() - 3 - h);
+    }
+
+    #[test]
+    fn to_graph_roundtrip() {
+        let pts = pseudo_random_points(25, 100.0, 5);
+        let tri = Triangulation::build(&pts);
+        let g = tri.to_graph();
+        assert_eq!(g.edge_count(), tri.edge_count());
+        for (u, v) in tri.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn delaunay_edges_do_not_cross() {
+        let pts = pseudo_random_points(50, 800.0, 99);
+        let tri = Triangulation::build(&pts);
+        let edges: Vec<_> = tri.edges().collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            for &(c, d) in &edges[i + 1..] {
+                assert!(
+                    !crate::predicates::segments_cross(pts[a], pts[b], pts[c], pts[d]),
+                    "edges ({a},{b}) and ({c},{d}) cross"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Planar embeddings and face routing.
+//!
+//! When a greedily-forwarded message reaches a *local minimum* (no
+//! neighbour is closer to the destination), GLR escapes using face routing
+//! on its planar spanner (paper §1, citing Bose et al. and Frey &
+//! Stojmenovic). This module provides:
+//!
+//! * [`PlanarEmbedding`] — the rotation system (neighbours of every vertex
+//!   sorted by angle) that face traversal needs;
+//! * [`face_route`] — the offline FACE-2 algorithm with guaranteed delivery
+//!   on connected planar graphs;
+//! * [`greedy_face_route`] — greedy forwarding with face-routing recovery
+//!   (the combined algorithm GLR follows);
+//! * [`FaceWalk`] — the incremental right-hand-rule stepper a protocol node
+//!   runs online, one hop at a time.
+
+use crate::graph::Graph;
+use crate::point::Point2;
+use crate::predicates::{orient2d, segments_cross, Sign};
+
+/// A rotation system for a (plane) graph: every vertex's neighbours sorted
+/// counter-clockwise by angle.
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{Graph, PlanarEmbedding, Point2};
+///
+/// let pos = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(0.0, 1.0),
+///     Point2::new(-1.0, 0.0),
+/// ];
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(0, 2);
+/// g.add_edge(0, 3);
+/// let emb = PlanarEmbedding::new(&g, &pos);
+/// assert_eq!(emb.sorted_neighbors(0), &[1, 2, 3]); // ccw from +x axis
+/// assert_eq!(emb.next_ccw(0, 1), 2);
+/// assert_eq!(emb.next_cw(0, 1), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanarEmbedding {
+    sorted_adj: Vec<Vec<usize>>,
+}
+
+impl PlanarEmbedding {
+    /// Builds the rotation system for `g` with vertex `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != g.len()`.
+    pub fn new(g: &Graph, positions: &[Point2]) -> Self {
+        assert_eq!(positions.len(), g.len(), "positions must match vertex count");
+        let sorted_adj = (0..g.len())
+            .map(|u| {
+                let mut nbrs: Vec<usize> = g.neighbors(u).to_vec();
+                nbrs.sort_by(|&a, &b| {
+                    positions[u]
+                        .angle_to(positions[a])
+                        .partial_cmp(&positions[u].angle_to(positions[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                nbrs
+            })
+            .collect();
+        PlanarEmbedding { sorted_adj }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.sorted_adj.len()
+    }
+
+    /// `true` when the embedding has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_adj.is_empty()
+    }
+
+    /// Neighbours of `u` in counter-clockwise angular order.
+    pub fn sorted_neighbors(&self, u: usize) -> &[usize] {
+        &self.sorted_adj[u]
+    }
+
+    /// The neighbour following `v` counter-clockwise around `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a neighbour of `u`.
+    pub fn next_ccw(&self, u: usize, v: usize) -> usize {
+        let nbrs = &self.sorted_adj[u];
+        let i = nbrs
+            .iter()
+            .position(|&w| w == v)
+            .unwrap_or_else(|| panic!("{v} is not a neighbour of {u}"));
+        nbrs[(i + 1) % nbrs.len()]
+    }
+
+    /// The neighbour preceding `v` counter-clockwise (i.e. next clockwise)
+    /// around `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a neighbour of `u`.
+    pub fn next_cw(&self, u: usize, v: usize) -> usize {
+        let nbrs = &self.sorted_adj[u];
+        let i = nbrs
+            .iter()
+            .position(|&w| w == v)
+            .unwrap_or_else(|| panic!("{v} is not a neighbour of {u}"));
+        nbrs[(i + nbrs.len() - 1) % nbrs.len()]
+    }
+
+    /// First neighbour of `u` counter-clockwise from the ray `u -> toward`
+    /// (the perimeter-mode entry edge of GPSR-style face routing).
+    ///
+    /// Returns `None` when `u` has no neighbours.
+    pub fn first_ccw_from_direction(
+        &self,
+        u: usize,
+        toward: Point2,
+        positions: &[Point2],
+    ) -> Option<usize> {
+        let nbrs = &self.sorted_adj[u];
+        if nbrs.is_empty() {
+            return None;
+        }
+        let base = positions[u].angle_to(toward);
+        // Smallest positive angular offset ccw from the ray.
+        nbrs.iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let oa = angular_offset(base, positions[u].angle_to(positions[a]));
+                let ob = angular_offset(base, positions[u].angle_to(positions[b]));
+                oa.partial_cmp(&ob).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Traces the face containing the directed edge `(u, v)`.
+    ///
+    /// The successor of directed edge `(a, b)` is `(b, next_ccw(b, a))` —
+    /// the right-hand rule. Returns the vertex cycle starting at `u`.
+    pub fn trace_face(&self, u: usize, v: usize) -> Vec<usize> {
+        let mut face = vec![u];
+        let (mut a, mut b) = (u, v);
+        loop {
+            let c = self.next_ccw(b, a);
+            a = b;
+            b = c;
+            if a == u && b == v {
+                break;
+            }
+            face.push(a);
+            // Safety valve: a face cannot have more than 2E directed edges.
+            if face.len() > 2 * self.sorted_adj.iter().map(Vec::len).sum::<usize>() + 2 {
+                break;
+            }
+        }
+        face
+    }
+
+    /// All faces of the embedding, each traced once.
+    ///
+    /// For a connected plane graph the count satisfies Euler's formula
+    /// `V - E + F = 2`; each extra component adds one (shared) outer face
+    /// trace.
+    pub fn faces(&self) -> Vec<Vec<usize>> {
+        let mut visited: std::collections::HashSet<(usize, usize)> = Default::default();
+        let mut out = Vec::new();
+        for u in 0..self.len() {
+            for &v in &self.sorted_adj[u] {
+                if visited.contains(&(u, v)) {
+                    continue;
+                }
+                // Trace and mark all directed edges of this face.
+                let face = self.trace_face(u, v);
+                let mut a = u;
+                let mut b = v;
+                loop {
+                    visited.insert((a, b));
+                    let c = self.next_ccw(b, a);
+                    a = b;
+                    b = c;
+                    if a == u && b == v {
+                        break;
+                    }
+                }
+                out.push(face);
+            }
+        }
+        out
+    }
+}
+
+/// Angular offset of `angle` counter-clockwise from `base`, in `[0, 2pi)`.
+fn angular_offset(base: f64, angle: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut d = angle - base;
+    while d < 0.0 {
+        d += two_pi;
+    }
+    while d >= two_pi {
+        d -= two_pi;
+    }
+    d
+}
+
+/// Incremental right-hand-rule face walk — the online stepper used by a
+/// protocol node in recovery mode.
+///
+/// Created at a local minimum; [`FaceWalk::step`] yields successive hops.
+/// The caller exits recovery as soon as it reaches a node closer to the
+/// destination than the entry point ([`FaceWalk::should_exit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceWalk {
+    /// Distance from the entry node to the destination; recovery ends when
+    /// beaten.
+    pub entry_dist: f64,
+    /// Current node.
+    pub current: usize,
+    /// Node we arrived from (`None` right after entry).
+    pub prev: Option<usize>,
+}
+
+impl FaceWalk {
+    /// Starts a face walk at `start` (a local minimum) heading to `dst_pos`.
+    pub fn begin(start: usize, start_pos: Point2, dst_pos: Point2) -> Self {
+        FaceWalk {
+            entry_dist: start_pos.dist(dst_pos),
+            current: start,
+            prev: None,
+        }
+    }
+
+    /// Next hop by the right-hand rule; `None` when the current node is
+    /// isolated.
+    pub fn step(
+        &mut self,
+        emb: &PlanarEmbedding,
+        positions: &[Point2],
+        dst_pos: Point2,
+    ) -> Option<usize> {
+        let next = match self.prev {
+            None => emb.first_ccw_from_direction(self.current, dst_pos, positions)?,
+            Some(p) => emb.next_ccw(self.current, p),
+        };
+        self.prev = Some(self.current);
+        self.current = next;
+        Some(next)
+    }
+
+    /// `true` when `pos` is strictly closer to the destination than the
+    /// recovery entry point — time to resume greedy forwarding.
+    pub fn should_exit(&self, pos: Point2, dst_pos: Point2) -> bool {
+        pos.dist(dst_pos) < self.entry_dist
+    }
+}
+
+/// FACE-2 routing on a plane graph: guaranteed delivery from `s` to `t`
+/// when they are connected. Returns the vertex path (including both
+/// endpoints), or `None` when disconnected (or `max_steps` exhausted).
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{face_route, Graph, Point2};
+///
+/// // A square; route between opposite corners.
+/// let pos = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.0),
+///     Point2::new(0.0, 1.0),
+/// ];
+/// let mut g = Graph::new(4);
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+///     g.add_edge(u, v);
+/// }
+/// let path = face_route(&g, &pos, 0, 2, 100).unwrap();
+/// assert_eq!(path.first(), Some(&0));
+/// assert_eq!(path.last(), Some(&2));
+/// ```
+pub fn face_route(
+    g: &Graph,
+    positions: &[Point2],
+    s: usize,
+    t: usize,
+    max_steps: usize,
+) -> Option<Vec<usize>> {
+    if s == t {
+        return Some(vec![s]);
+    }
+    let emb = PlanarEmbedding::new(g, positions);
+    let tp = positions[t];
+    let mut path = vec![s];
+    // `anchor` is the point where we entered the current face (initially s);
+    // face switching happens on edges crossing segment (anchor, t).
+    let mut anchor = positions[s];
+    let mut cur = s;
+    let mut first = emb.first_ccw_from_direction(cur, tp, positions)?;
+    let mut prev_cross_dist = f64::INFINITY;
+    let mut steps = 0;
+
+    let mut next = first;
+    loop {
+        if steps > max_steps {
+            return None;
+        }
+        steps += 1;
+        if next == t {
+            path.push(t);
+            return Some(path);
+        }
+        // Does the edge (cur, next) cross (anchor, t) closer to t?
+        if let Some(x) = segment_intersection(positions[cur], positions[next], anchor, tp) {
+            let d = x.dist(tp);
+            if d < prev_cross_dist - 1e-12 {
+                // Switch to the new face: restart traversal from `cur`
+                // anchored at the crossing point.
+                prev_cross_dist = d;
+                anchor = x;
+                // Traverse the face on the other side of the crossed edge:
+                // continue from `next`, coming from `cur`.
+                path.push(next);
+                let after = emb.next_ccw(next, cur);
+                cur = next;
+                next = after;
+                // Reset loop-detection for the new face.
+                first = next;
+                continue;
+            }
+        }
+        path.push(next);
+        let after = emb.next_ccw(next, cur);
+        cur = next;
+        next = after;
+        // Completed a full face loop without progress => disconnected.
+        if cur == path[0] && next == first && prev_cross_dist.is_infinite() {
+            return None;
+        }
+    }
+}
+
+/// Greedy-Face-Greedy (GFG) routing: greedy forwarding with FACE-2 recovery
+/// at local minima. Guaranteed delivery on connected plane graphs.
+///
+/// Returns the hop path including both endpoints.
+pub fn greedy_face_route(
+    g: &Graph,
+    positions: &[Point2],
+    s: usize,
+    t: usize,
+    max_steps: usize,
+) -> Option<Vec<usize>> {
+    if s == t {
+        return Some(vec![s]);
+    }
+    let emb = PlanarEmbedding::new(g, positions);
+    let tp = positions[t];
+    let mut path = vec![s];
+    let mut cur = s;
+    let mut steps = 0;
+    while cur != t {
+        if steps > max_steps {
+            return None;
+        }
+        // Greedy step.
+        let best = g
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                positions[a]
+                    .dist_sq(tp)
+                    .partial_cmp(&positions[b].dist_sq(tp))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .filter(|&v| positions[v].dist_sq(tp) < positions[cur].dist_sq(tp));
+        match best {
+            Some(v) => {
+                path.push(v);
+                cur = v;
+                steps += 1;
+            }
+            None => {
+                // Local minimum: face-walk until we beat the entry distance.
+                let mut walk = FaceWalk::begin(cur, positions[cur], tp);
+                loop {
+                    if steps > max_steps {
+                        return None;
+                    }
+                    let Some(v) = walk.step(&emb, positions, tp) else {
+                        return None;
+                    };
+                    path.push(v);
+                    cur = v;
+                    steps += 1;
+                    if cur == t || walk.should_exit(positions[cur], tp) {
+                        break;
+                    }
+                    // Came all the way around: destination unreachable.
+                    if walk.prev == Some(cur) {
+                        return None;
+                    }
+                    if path.len() > max_steps {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    Some(path)
+}
+
+/// Intersection point of segments `ab` and `cd` when they properly cross
+/// (or touch at a T-junction); `None` otherwise.
+fn segment_intersection(a: Point2, b: Point2, c: Point2, d: Point2) -> Option<Point2> {
+    if !segments_cross(a, b, c, d) {
+        return None;
+    }
+    let r = b - a;
+    let s = d - c;
+    let denom = r.cross(s);
+    if denom == 0.0 {
+        // Collinear overlap: return the endpoint of cd nearest to d inside ab.
+        return Some(c.midpoint(d));
+    }
+    let t = (c - a).cross(s) / denom;
+    Some(a + r * t)
+}
+
+/// `true` when vertex `u` is a local minimum for destination position
+/// `dst_pos`: no neighbour of `u` in `g` is strictly closer to `dst_pos`.
+pub fn is_local_minimum(g: &Graph, positions: &[Point2], u: usize, dst_pos: Point2) -> bool {
+    let du = positions[u].dist_sq(dst_pos);
+    !g.neighbors(u)
+        .iter()
+        .any(|&v| positions[v].dist_sq(dst_pos) < du)
+}
+
+/// `true` when the plane graph drawing has no crossing edges (brute force;
+/// test/diagnostic use).
+pub fn is_plane_drawing(g: &Graph, positions: &[Point2]) -> bool {
+    let edges: Vec<_> = g.edges().collect();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        for &(c, d) in &edges[i + 1..] {
+            if segments_cross(positions[a], positions[b], positions[c], positions[d]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` when `p` lies strictly left of the directed line `a -> b`.
+/// Convenience re-export of the orientation predicate for callers doing
+/// their own face bookkeeping.
+pub fn left_of(a: Point2, b: Point2, p: Point2) -> bool {
+    orient2d(a, b, p) == Sign::Positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldt::k_ldtg;
+    use crate::udg::unit_disk_graph;
+
+    fn pseudo_random_points(n: usize, w: f64, h: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point2::new(next() * w, next() * h)).collect()
+    }
+
+    fn star_embedding() -> (Graph, Vec<Point2>) {
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(-1.0, 0.0),
+            Point2::new(0.0, -1.0),
+        ];
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        (g, pos)
+    }
+
+    #[test]
+    fn rotation_order_is_ccw() {
+        let (g, pos) = star_embedding();
+        let emb = PlanarEmbedding::new(&g, &pos);
+        // Angles: 1 at 0, 2 at pi/2, 3 at pi, 4 at -pi/2; ccw order from
+        // -pi: 4, 1, 2, 3.
+        assert_eq!(emb.sorted_neighbors(0), &[4, 1, 2, 3]);
+        assert_eq!(emb.next_ccw(0, 1), 2);
+        assert_eq!(emb.next_ccw(0, 3), 4);
+        assert_eq!(emb.next_cw(0, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbour")]
+    fn next_ccw_requires_edge() {
+        let (g, pos) = star_embedding();
+        let emb = PlanarEmbedding::new(&g, &pos);
+        emb.next_ccw(1, 2);
+    }
+
+    #[test]
+    fn first_ccw_from_direction_picks_entry_edge() {
+        let (g, pos) = star_embedding();
+        let emb = PlanarEmbedding::new(&g, &pos);
+        // Heading towards (1, 0.1): slightly ccw of neighbour 1, so the
+        // first edge ccw from that ray is vertex 2 (at pi/2).
+        let e = emb
+            .first_ccw_from_direction(0, Point2::new(1.0, 0.1), &pos)
+            .unwrap();
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn euler_formula_on_triangulated_square() {
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let mut g = Graph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            g.add_edge(u, v);
+        }
+        let emb = PlanarEmbedding::new(&g, &pos);
+        let faces = emb.faces();
+        // V - E + F = 2 => F = 2 - 4 + 5 = 3 (two triangles + outer face).
+        assert_eq!(faces.len(), 3);
+        // Total face degree = 2E.
+        let total: usize = faces.iter().map(Vec::len).sum();
+        assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn euler_formula_on_random_ldtg() {
+        for seed in [21, 55] {
+            let pts = pseudo_random_points(40, 800.0, 800.0, seed);
+            let g = k_ldtg(&pts, 300.0, 2);
+            if !g.is_connected() || g.edge_count() == 0 {
+                continue;
+            }
+            let emb = PlanarEmbedding::new(&g, &pts);
+            let faces = emb.faces();
+            let expect = 2 + g.edge_count() - g.len();
+            assert_eq!(faces.len(), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn face_route_on_square() {
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let mut g = Graph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            g.add_edge(u, v);
+        }
+        let path = face_route(&g, &pos, 0, 2, 50).unwrap();
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 2);
+        assert!(path.len() <= 4);
+    }
+
+    #[test]
+    fn face_route_disconnected_returns_none() {
+        let pos = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(5.0, 0.0), Point2::new(6.0, 0.0)];
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(face_route(&g, &pos, 0, 3, 100).is_none());
+        assert!(greedy_face_route(&g, &pos, 0, 3, 100).is_none());
+    }
+
+    #[test]
+    fn gfg_delivers_on_connected_ldtg() {
+        let mut tried = 0;
+        for seed in 1..40u64 {
+            let pts = pseudo_random_points(40, 1000.0, 1000.0, seed);
+            let udg = unit_disk_graph(&pts, 280.0);
+            if !udg.is_connected() {
+                continue;
+            }
+            let g = k_ldtg(&pts, 280.0, 2);
+            assert!(g.is_connected(), "LDTG must preserve connectivity");
+            assert!(is_plane_drawing(&g, &pts), "LDTG must be plane");
+            tried += 1;
+            let max_steps = 20 * g.edge_count() + 50;
+            for (s, t) in [(0usize, 39usize), (5, 17), (12, 33)] {
+                let path = greedy_face_route(&g, &pts, s, t, max_steps)
+                    .unwrap_or_else(|| panic!("no route {s}->{t} seed {seed}"));
+                assert_eq!(*path.first().unwrap(), s);
+                assert_eq!(*path.last().unwrap(), t);
+                // Every hop must be a graph edge.
+                for w in path.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]), "non-edge hop {w:?}");
+                }
+            }
+            if tried >= 8 {
+                break;
+            }
+        }
+        assert!(tried >= 3, "not enough connected instances exercised");
+    }
+
+    #[test]
+    fn local_minimum_detection() {
+        // A "C" shape: node 0 must detour although 1 is its only neighbour.
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(-1.0, 1.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(1.0, 1.0), // destination-side
+        ];
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let dst = Point2::new(0.2, 0.9);
+        assert!(is_local_minimum(&g, &pos, 0, dst));
+        assert!(!is_local_minimum(&g, &pos, 1, dst));
+    }
+
+    #[test]
+    fn face_walk_exits_when_closer() {
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(3.0, 0.0),
+        ];
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let emb = PlanarEmbedding::new(&g, &pos);
+        let dst = pos[3];
+        let mut walk = FaceWalk::begin(0, pos[0], dst);
+        let mut cur = 0usize;
+        for _ in 0..4 {
+            cur = walk.step(&emb, &pos, dst).unwrap();
+            if walk.should_exit(pos[cur], dst) {
+                break;
+            }
+        }
+        assert!(pos[cur].dist(dst) < pos[0].dist(dst));
+    }
+
+    #[test]
+    fn greedy_face_same_node() {
+        let (g, pos) = star_embedding();
+        assert_eq!(greedy_face_route(&g, &pos, 2, 2, 10), Some(vec![2]));
+        assert_eq!(face_route(&g, &pos, 2, 2, 10), Some(vec![2]));
+    }
+}

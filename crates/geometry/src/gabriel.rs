@@ -1,0 +1,152 @@
+//! Gabriel and relative-neighbourhood graphs.
+//!
+//! These classic localized planar graphs serve as ablation baselines for
+//! the k-LDTG spanner: both are planar and locally computable, but they are
+//! *not* constant-stretch spanners, which is exactly the property the paper
+//! buys by using local Delaunay triangulations instead.
+
+use crate::graph::Graph;
+use crate::point::Point2;
+use crate::predicates::in_diametral_disk;
+
+/// Gabriel graph restricted to unit-disk edges of radius `r`.
+///
+/// Edge `uv` survives iff no other point lies strictly inside the closed
+/// disk with diameter `uv`. Restricting to unit-disk edges matches how a
+/// wireless node would compute it (it only knows its radio neighbours).
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{gabriel_graph, Point2};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 0.0),
+///     Point2::new(1.0, 0.1), // inside the diametral disk of 0-1
+/// ];
+/// let g = gabriel_graph(&pts, 10.0);
+/// assert!(!g.has_edge(0, 1));
+/// assert!(g.has_edge(0, 2));
+/// assert!(g.has_edge(1, 2));
+/// ```
+pub fn gabriel_graph(points: &[Point2], r: f64) -> Graph {
+    let udg = crate::udg::unit_disk_graph(points, r);
+    let mut g = Graph::new(points.len());
+    for (u, v) in udg.edges() {
+        let blocked = udg
+            .neighbors(u)
+            .iter()
+            .chain(udg.neighbors(v))
+            .any(|&w| w != u && w != v && in_diametral_disk(points[w], points[u], points[v]));
+        if !blocked {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Relative neighbourhood graph restricted to unit-disk edges of radius `r`.
+///
+/// Edge `uv` survives iff no point `w` is simultaneously closer to `u` and
+/// to `v` than `u` and `v` are to each other (no point in the "lune").
+/// RNG is a subgraph of the Gabriel graph.
+pub fn relative_neighborhood_graph(points: &[Point2], r: f64) -> Graph {
+    let udg = crate::udg::unit_disk_graph(points, r);
+    let mut g = Graph::new(points.len());
+    for (u, v) in udg.edges() {
+        let d_uv = points[u].dist_sq(points[v]);
+        let blocked = udg
+            .neighbors(u)
+            .iter()
+            .chain(udg.neighbors(v))
+            .any(|&w| {
+                w != u
+                    && w != v
+                    && points[w].dist_sq(points[u]) < d_uv
+                    && points[w].dist_sq(points[v]) < d_uv
+            });
+        if !blocked {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::segments_cross;
+
+    fn pseudo_random_points(n: usize, scale: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point2::new(next() * scale, next() * scale))
+            .collect()
+    }
+
+    #[test]
+    fn triangle_all_edges_survive() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, 0.9),
+        ];
+        let g = gabriel_graph(&pts, 10.0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn rng_subset_of_gabriel() {
+        let pts = pseudo_random_points(80, 1000.0, 31);
+        let gg = gabriel_graph(&pts, 200.0);
+        let rng = relative_neighborhood_graph(&pts, 200.0);
+        for (u, v) in rng.edges() {
+            assert!(gg.has_edge(u, v), "RNG edge ({u},{v}) missing from Gabriel");
+        }
+        assert!(rng.edge_count() <= gg.edge_count());
+    }
+
+    #[test]
+    fn gabriel_subset_of_udg() {
+        let pts = pseudo_random_points(60, 1000.0, 77);
+        let udg = crate::udg::unit_disk_graph(&pts, 180.0);
+        let gg = gabriel_graph(&pts, 180.0);
+        for (u, v) in gg.edges() {
+            assert!(udg.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn gabriel_is_planar() {
+        let pts = pseudo_random_points(60, 1000.0, 13);
+        let gg = gabriel_graph(&pts, 250.0);
+        let edges: Vec<_> = gg.edges().collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            for &(c, d) in &edges[i + 1..] {
+                assert!(
+                    !segments_cross(pts[a], pts[b], pts[c], pts[d]),
+                    "Gabriel edges ({a},{b}) and ({c},{d}) cross"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rng_preserves_connectivity() {
+        // RNG contains the Euclidean MST, so it preserves UDG connectivity.
+        let pts = pseudo_random_points(50, 500.0, 5);
+        let udg = crate::udg::unit_disk_graph(&pts, 220.0);
+        let rng = relative_neighborhood_graph(&pts, 220.0);
+        assert_eq!(
+            udg.connected_components().len(),
+            rng.connected_components().len()
+        );
+    }
+}

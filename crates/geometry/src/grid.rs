@@ -1,0 +1,219 @@
+//! Uniform spatial hash grid for range queries over point sets.
+//!
+//! Building a unit-disk graph naively is `O(n^2)`; with a grid whose cell
+//! size equals the query radius it drops to `O(n + m)`. The simulator also
+//! uses the grid every time it needs "who is within radio range of node u
+//! right now".
+
+use crate::point::Point2;
+
+/// A uniform grid over a set of points supporting radius queries.
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{Grid, Point2};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(5.0, 0.0),
+///     Point2::new(50.0, 50.0),
+/// ];
+/// let grid = Grid::build(&pts, 10.0);
+/// let mut near = grid.within_radius(&pts, Point2::new(1.0, 1.0), 10.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    cell: f64,
+    min: Point2,
+    cols: usize,
+    rows: usize,
+    /// `buckets[row * cols + col]` lists point indices in that cell.
+    buckets: Vec<Vec<usize>>,
+}
+
+impl Grid {
+    /// Builds a grid with the given cell size over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, or if any
+    /// point has a non-finite coordinate.
+    pub fn build(points: &[Point2], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        }
+        let (min, max) = bounding_box(points);
+        let width = (max.x - min.x).max(0.0);
+        let height = (max.y - min.y).max(0.0);
+        let cols = (width / cell_size).floor() as usize + 1;
+        let rows = (height / cell_size).floor() as usize + 1;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let grid_tmp = Grid {
+            cell: cell_size,
+            min,
+            cols,
+            rows,
+            buckets: Vec::new(),
+        };
+        for (i, &p) in points.iter().enumerate() {
+            let (c, r) = grid_tmp.cell_of(p);
+            buckets[r * cols + c].push(i);
+        }
+        Grid {
+            buckets,
+            ..grid_tmp
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point2) -> (usize, usize) {
+        let c = ((p.x - self.min.x) / self.cell).floor() as isize;
+        let r = ((p.y - self.min.y) / self.cell).floor() as isize;
+        (
+            c.clamp(0, self.cols as isize - 1) as usize,
+            r.clamp(0, self.rows as isize - 1) as usize,
+        )
+    }
+
+    /// Indices of all points within `radius` of `center` (inclusive).
+    ///
+    /// `points` must be the same slice the grid was built from.
+    pub fn within_radius(&self, points: &[Point2], center: Point2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(points, center, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` for every point index within `radius` of `center`.
+    pub fn for_each_within<F: FnMut(usize)>(
+        &self,
+        points: &[Point2],
+        center: Point2,
+        radius: f64,
+        mut f: F,
+    ) {
+        let r_cells = (radius / self.cell).ceil() as isize + 1;
+        let (cc, cr) = self.cell_of(center);
+        let r_sq = radius * radius;
+        let c0 = (cc as isize - r_cells).max(0) as usize;
+        let c1 = ((cc as isize + r_cells) as usize).min(self.cols - 1);
+        let r0 = (cr as isize - r_cells).max(0) as usize;
+        let r1 = ((cr as isize + r_cells) as usize).min(self.rows - 1);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for &i in &self.buckets[row * self.cols + col] {
+                    if points[i].dist_sq(center) <= r_sq {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Axis-aligned bounding box of a point set; `(origin, origin)` when empty.
+pub fn bounding_box(points: &[Point2]) -> (Point2, Point2) {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    if points.is_empty() {
+        (Point2::ORIGIN, Point2::ORIGIN)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        // Deterministic pseudo-random points.
+        let mut pts = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((state >> 16) % 1000) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = ((state >> 16) % 1000) as f64;
+            pts.push(Point2::new(x, y));
+        }
+        let grid = Grid::build(&pts, 100.0);
+        for &(cx, cy, r) in &[(500.0, 500.0, 100.0), (0.0, 0.0, 250.0), (999.0, 0.0, 50.0)] {
+            let center = Point2::new(cx, cy);
+            let mut got = grid.within_radius(&pts, center, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].dist(center) <= r)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "mismatch at center {center} radius {r}");
+        }
+    }
+
+    #[test]
+    fn query_radius_larger_than_cell() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(90.0, 0.0)];
+        let grid = Grid::build(&pts, 10.0);
+        let near = grid.within_radius(&pts, Point2::new(0.0, 0.0), 100.0);
+        assert_eq!(near.len(), 2);
+    }
+
+    #[test]
+    fn empty_points() {
+        let pts: Vec<Point2> = Vec::new();
+        let grid = Grid::build(&pts, 10.0);
+        assert!(grid.within_radius(&pts, Point2::ORIGIN, 5.0).is_empty());
+        assert_eq!(grid.cell_count(), 1);
+    }
+
+    #[test]
+    fn single_point_inclusive_boundary() {
+        let pts = vec![Point2::new(3.0, 4.0)];
+        let grid = Grid::build(&pts, 1.0);
+        // Distance exactly 5.0 from origin: inclusive.
+        assert_eq!(grid.within_radius(&pts, Point2::ORIGIN, 5.0), vec![0]);
+        assert!(grid.within_radius(&pts, Point2::ORIGIN, 4.999).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        Grid::build(&[Point2::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_point_panics() {
+        Grid::build(&[Point2::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    #[test]
+    fn bounding_box_basic() {
+        let (min, max) = bounding_box(&[
+            Point2::new(1.0, 5.0),
+            Point2::new(-2.0, 3.0),
+            Point2::new(4.0, -1.0),
+        ]);
+        assert_eq!(min, Point2::new(-2.0, -1.0));
+        assert_eq!(max, Point2::new(4.0, 5.0));
+    }
+}

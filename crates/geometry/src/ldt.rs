@@ -1,0 +1,332 @@
+//! k-local Delaunay triangulation graphs (k-LDTG) — the GLR routing spanner.
+//!
+//! Following the paper (§2.1, after Li, Calinescu & Wan), every node `u`
+//! computes the Delaunay triangulation `A(Nk(u))` of its distance-`k`
+//! neighbourhood in the unit-disk graph. A link `uv` (with `v` a radio
+//! neighbour of `u`) is accepted into the final graph iff it appears in
+//! `A(Nk(u))` **and** in `A(Nk(w))` for every radio neighbour `w` of `u`
+//! whose `k`-neighbourhood contains both `u` and `v`. The witness rule
+//! removes the crossings that plain 1-local Delaunay would admit, yielding
+//! a planar spanner without an extra planarisation round.
+//!
+//! Two entry points are provided:
+//!
+//! * [`k_ldtg`] — the global (omniscient) construction, used as ground
+//!   truth by tests and by the topology analyses in the benchmark harness;
+//! * [`ldtg_local_neighbors`] — the node-local construction a protocol
+//!   instance actually runs: it sees only the positions it has collected
+//!   (its `k`-hop view) and applies the same acceptance rule restricted to
+//!   that view.
+
+use crate::delaunay::Triangulation;
+use crate::graph::Graph;
+use crate::point::Point2;
+use crate::udg::unit_disk_graph;
+use std::collections::HashSet;
+
+/// Builds the k-local Delaunay triangulation graph of `points` with radio
+/// radius `r`.
+///
+/// The result is a subgraph of the unit-disk graph. For `k >= 2` it is
+/// planar (asserted empirically by this crate's tests) and a constant
+/// stretch spanner of the unit-disk graph.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `r` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{k_ldtg, unit_disk_graph, Point2};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(80.0, 0.0),
+///     Point2::new(40.0, 60.0),
+///     Point2::new(40.0, -60.0),
+/// ];
+/// let ldtg = k_ldtg(&pts, 100.0, 2);
+/// // Subgraph of the UDG:
+/// let udg = unit_disk_graph(&pts, 100.0);
+/// for (u, v) in ldtg.edges() {
+///     assert!(udg.has_edge(u, v));
+/// }
+/// ```
+pub fn k_ldtg(points: &[Point2], r: f64, k: usize) -> Graph {
+    assert!(k >= 1, "k must be at least 1");
+    let udg = unit_disk_graph(points, r);
+    let n = points.len();
+
+    // k-hop neighbourhoods (sorted) and their membership sets.
+    let nk: Vec<Vec<usize>> = (0..n).map(|u| udg.k_hop_neighborhood(u, k)).collect();
+    let nk_set: Vec<HashSet<usize>> = nk.iter().map(|v| v.iter().copied().collect()).collect();
+
+    // Local Delaunay edge sets A(Nk(u)), in global indices.
+    let local_dt: Vec<HashSet<(usize, usize)>> = (0..n)
+        .map(|u| local_delaunay_edges(points, &nk[u]))
+        .collect();
+
+    let mut g = Graph::new(n);
+    for (u, v) in udg.edges() {
+        if accepted(u, v, &udg, &nk_set, &local_dt) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The paper's acceptance rule for the candidate link `uv`.
+fn accepted(
+    u: usize,
+    v: usize,
+    udg: &Graph,
+    nk_set: &[HashSet<usize>],
+    local_dt: &[HashSet<(usize, usize)>],
+) -> bool {
+    let e = ordered(u, v);
+    // Must be in both endpoints' local triangulations.
+    if !local_dt[u].contains(&e) || !local_dt[v].contains(&e) {
+        return false;
+    }
+    // Every 1-hop witness of either endpoint that can see both endpoints
+    // must agree.
+    let witness_agrees = |w: usize| -> bool {
+        if nk_set[w].contains(&u) && nk_set[w].contains(&v) {
+            local_dt[w].contains(&e)
+        } else {
+            true
+        }
+    };
+    udg.neighbors(u).iter().all(|&w| witness_agrees(w))
+        && udg.neighbors(v).iter().all(|&w| witness_agrees(w))
+}
+
+/// Delaunay edge set of the induced point set `members` (global indices).
+fn local_delaunay_edges(points: &[Point2], members: &[usize]) -> HashSet<(usize, usize)> {
+    let local_pts: Vec<Point2> = members.iter().map(|&i| points[i]).collect();
+    let tri = Triangulation::build(&local_pts);
+    tri.edges()
+        .map(|(a, b)| ordered(members[a], members[b]))
+        .collect()
+}
+
+/// Node-local LDTG computation over a collected view.
+///
+/// `view` holds the positions a node currently knows (typically its `k`-hop
+/// neighbourhood gathered via beaconing), with `self_idx` identifying the
+/// computing node inside the slice. Returns the view-local indices of the
+/// node's LDTG neighbours: radio neighbours `v` such that the edge
+/// `self`–`v` is accepted by the paper's rule evaluated within the view.
+///
+/// This is what a GLR node runs at every route check; it degrades
+/// gracefully when the view is incomplete (a truncated witness set can only
+/// keep *more* edges, never disconnect the node from a Delaunay neighbour).
+///
+/// # Panics
+///
+/// Panics if `self_idx` is out of range, `k == 0`, or `r <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use glr_geometry::{ldtg_local_neighbors, Point2};
+///
+/// let view = vec![
+///     Point2::new(0.0, 0.0),   // self
+///     Point2::new(60.0, 0.0),
+///     Point2::new(0.0, 60.0),
+/// ];
+/// let nbrs = ldtg_local_neighbors(&view, 0, 100.0, 2);
+/// assert_eq!(nbrs, vec![1, 2]);
+/// ```
+pub fn ldtg_local_neighbors(view: &[Point2], self_idx: usize, r: f64, k: usize) -> Vec<usize> {
+    assert!(self_idx < view.len(), "self_idx out of range");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(r > 0.0, "radius must be positive");
+    let n = view.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let udg = unit_disk_graph(view, r);
+    let nk: Vec<Vec<usize>> = (0..n).map(|u| udg.k_hop_neighborhood(u, k)).collect();
+    let nk_set: Vec<HashSet<usize>> = nk.iter().map(|v| v.iter().copied().collect()).collect();
+    let local_dt: Vec<HashSet<(usize, usize)>> =
+        (0..n).map(|u| local_delaunay_edges(view, &nk[u])).collect();
+
+    let mut out: Vec<usize> = udg
+        .neighbors(self_idx)
+        .iter()
+        .copied()
+        .filter(|&v| accepted(self_idx, v, &udg, &nk_set, &local_dt))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[inline]
+fn ordered(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::segments_cross;
+
+    fn pseudo_random_points(n: usize, w: f64, h: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point2::new(next() * w, next() * h)).collect()
+    }
+
+    fn assert_planar(points: &[Point2], g: &Graph) {
+        let edges: Vec<_> = g.edges().collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            for &(c, d) in &edges[i + 1..] {
+                assert!(
+                    !segments_cross(points[a], points[b], points[c], points[d]),
+                    "edges ({a},{b}) and ({c},{d}) cross"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_of_udg() {
+        let pts = pseudo_random_points(50, 1000.0, 1000.0, 11);
+        let ldtg = k_ldtg(&pts, 250.0, 2);
+        let udg = unit_disk_graph(&pts, 250.0);
+        for (u, v) in ldtg.edges() {
+            assert!(udg.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn planar_for_k2_dense() {
+        for seed in [3, 17, 101] {
+            let pts = pseudo_random_points(50, 1000.0, 1000.0, seed);
+            let ldtg = k_ldtg(&pts, 250.0, 2);
+            assert_planar(&pts, &ldtg);
+        }
+    }
+
+    #[test]
+    fn planar_for_k2_sparse() {
+        for seed in [9, 23] {
+            let pts = pseudo_random_points(50, 1500.0, 300.0, seed);
+            let ldtg = k_ldtg(&pts, 100.0, 2);
+            assert_planar(&pts, &ldtg);
+        }
+    }
+
+    #[test]
+    fn preserves_udg_connectivity() {
+        // The LDTG contains the Gabriel graph of each connected component,
+        // so components must match the UDG's.
+        for seed in [5, 29, 64] {
+            let pts = pseudo_random_points(50, 1000.0, 1000.0, seed);
+            let ldtg = k_ldtg(&pts, 250.0, 2);
+            let udg = unit_disk_graph(&pts, 250.0);
+            assert_eq!(
+                ldtg.connected_components().len(),
+                udg.connected_components().len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_network_matches_delaunay_restricted_to_udg() {
+        // With a radius covering the whole region, every node sees everyone
+        // within k=2 hops, so the LDTG equals the true Delaunay graph.
+        let pts = pseudo_random_points(30, 100.0, 100.0, 41);
+        let r = 300.0; // everything within one hop
+        let ldtg = k_ldtg(&pts, r, 2);
+        let tri = Triangulation::build(&pts);
+        for (u, v) in ldtg.edges() {
+            assert!(tri.has_edge(u, v), "extra edge ({u},{v})");
+        }
+        for (u, v) in tri.edges() {
+            if pts[u].dist(pts[v]) <= r {
+                assert!(ldtg.has_edge(u, v), "missing Delaunay edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(k_ldtg(&[], 10.0, 2).len(), 0);
+        let one = k_ldtg(&[Point2::ORIGIN], 10.0, 2);
+        assert_eq!(one.edge_count(), 0);
+        let two = k_ldtg(&[Point2::ORIGIN, Point2::new(5.0, 0.0)], 10.0, 2);
+        assert!(two.has_edge(0, 1));
+        let far = k_ldtg(&[Point2::ORIGIN, Point2::new(50.0, 0.0)], 10.0, 2);
+        assert_eq!(far.edge_count(), 0);
+    }
+
+    #[test]
+    fn local_view_agrees_on_complete_information() {
+        // When the view includes the whole component, the local rule equals
+        // the global rule for edges incident to the node.
+        let pts = pseudo_random_points(25, 300.0, 300.0, 7);
+        let r = 150.0;
+        let k = 2;
+        let global = k_ldtg(&pts, r, k);
+        let udg = unit_disk_graph(&pts, r);
+        for u in 0..pts.len() {
+            // View = u's component (complete information about it).
+            let comp: Vec<usize> = udg
+                .connected_components()
+                .into_iter()
+                .find(|c| c.contains(&u))
+                .unwrap();
+            let view: Vec<Point2> = comp.iter().map(|&i| pts[i]).collect();
+            let self_local = comp.iter().position(|&i| i == u).unwrap();
+            let local = ldtg_local_neighbors(&view, self_local, r, k);
+            let mut got: Vec<usize> = local.iter().map(|&li| comp[li]).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = global.neighbors(u).to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "node {u}");
+        }
+    }
+
+    #[test]
+    fn local_view_truncated_keeps_superset_of_radio_delaunay() {
+        // With only the 2-hop view, the node must still find at least its
+        // true LDTG neighbours that lie inside the view.
+        let pts = pseudo_random_points(40, 600.0, 600.0, 19);
+        let r = 180.0;
+        let global = k_ldtg(&pts, r, 2);
+        let udg = unit_disk_graph(&pts, r);
+        for u in 0..pts.len() {
+            let view_ids = udg.k_hop_neighborhood(u, 2);
+            let view: Vec<Point2> = view_ids.iter().map(|&i| pts[i]).collect();
+            let self_local = view_ids.iter().position(|&i| i == u).unwrap();
+            let local = ldtg_local_neighbors(&view, self_local, r, 2);
+            let got: HashSet<usize> = local.iter().map(|&li| view_ids[li]).collect();
+            for &v in global.neighbors(u) {
+                assert!(
+                    got.contains(&v),
+                    "node {u} lost true LDTG neighbour {v} in local view"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_neighbors_of_isolated_node() {
+        let view = vec![Point2::ORIGIN];
+        assert!(ldtg_local_neighbors(&view, 0, 50.0, 2).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Computational-geometry substrate for the GLR routing stack.
+//!
+//! This crate implements every geometric ingredient of *"A Geometric
+//! Routing Protocol in Disruption Tolerant Network"* (Du, Kranakis, Nayak;
+//! ICDCS 2009):
+//!
+//! * robust [`orient2d`]/[`incircle`] predicates (filtered double-double),
+//! * Bowyer–Watson Delaunay [`Triangulation`],
+//! * [`unit_disk_graph`] connectivity and the Georgiou et al.
+//!   [`connectivity_radius_bound`] behind GLR's copy-count decision,
+//! * the **k-local Delaunay triangulation graph** ([`k_ldtg`] and its
+//!   node-local counterpart [`ldtg_local_neighbors`]) — the paper's planar
+//!   routing spanner,
+//! * [`PlanarEmbedding`] + [`face_route`]/[`greedy_face_route`] for
+//!   local-minimum recovery,
+//! * DSTD tree extraction ([`dstd_next_hop`], [`DstdKind`]) for controlled
+//!   flooding,
+//! * Gabriel/relative-neighbourhood baselines and spanner
+//!   [`euclidean_stretch`] metrics for the ablation studies.
+//!
+//! # Quick example
+//!
+//! ```
+//! use glr_geometry::{dstd_next_hop, k_ldtg, DstdKind, Point2};
+//!
+//! // A toy deployment.
+//! let pts = vec![
+//!     Point2::new(0.0, 0.0),
+//!     Point2::new(70.0, 10.0),
+//!     Point2::new(60.0, -40.0),
+//!     Point2::new(140.0, 0.0),
+//! ];
+//! let spanner = k_ldtg(&pts, 100.0, 2);
+//!
+//! // Node 0 forwards a message towards node 3 along the Max tree.
+//! let nbrs: Vec<(usize, Point2)> = spanner
+//!     .neighbors(0)
+//!     .iter()
+//!     .map(|&v| (v, pts[v]))
+//!     .collect();
+//! let next = dstd_next_hop(pts[0], pts[3], &nbrs, DstdKind::Max);
+//! assert!(next.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod delaunay;
+mod faces;
+mod gabriel;
+mod graph;
+mod grid;
+mod hull;
+mod ldt;
+mod point;
+mod predicates;
+mod spanner;
+mod trees;
+mod udg;
+
+pub use delaunay::Triangulation;
+pub use faces::{
+    face_route, greedy_face_route, is_local_minimum, is_plane_drawing, left_of, FaceWalk,
+    PlanarEmbedding,
+};
+pub use gabriel::{gabriel_graph, relative_neighborhood_graph};
+pub use graph::Graph;
+pub use grid::{bounding_box, Grid};
+pub use hull::convex_hull;
+pub use ldt::{k_ldtg, ldtg_local_neighbors};
+pub use point::Point2;
+pub use predicates::{
+    circumcenter, in_diametral_disk, incircle, orient2d, orient2d_raw, segments_cross, Sign,
+};
+pub use spanner::{euclidean_stretch, relative_stretch, StretchReport};
+pub use trees::{dstd_fanout, dstd_next_hop, extract_dstd_path, DstdKind};
+pub use udg::{
+    connectivity_probability, connectivity_radius_bound, connectivity_radius_for_region,
+    unit_disk_graph,
+};

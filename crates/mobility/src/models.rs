@@ -1,0 +1,332 @@
+//! Mobility models: random waypoint (the paper's motion pattern), random
+//! walk with boundary reflection, and stationary placement.
+
+use crate::region::Region;
+use crate::trajectory::Trajectory;
+use glr_geometry::Point2;
+use rand::Rng;
+
+/// A mobility model that can compile a node's movement into a
+/// [`Trajectory`] covering `[0, duration]`.
+pub trait MobilityModel {
+    /// Generates one node's trajectory starting at `start`.
+    fn trajectory<R: Rng + ?Sized>(
+        &self,
+        start: Point2,
+        duration: f64,
+        rng: &mut R,
+    ) -> Trajectory;
+
+    /// Generates trajectories for a whole deployment: nodes start uniformly
+    /// at random inside `region`.
+    fn deployment<R: Rng + ?Sized>(
+        &self,
+        region: Region,
+        n: usize,
+        duration: f64,
+        rng: &mut R,
+    ) -> Vec<Trajectory> {
+        (0..n)
+            .map(|_| {
+                let start = region.random_point(rng);
+                self.trajectory(start, duration, rng)
+            })
+            .collect()
+    }
+}
+
+/// The random waypoint model: repeatedly pick a uniform destination in the
+/// region, travel there in a straight line at a uniformly-sampled speed,
+/// optionally pause, repeat.
+///
+/// The paper's configuration is speeds uniform in 0–20 m/s with zero pause
+/// time ([`RandomWaypoint::paper`]). Sampled speeds are clamped to a small
+/// positive floor so a node can never freeze forever (the classic RWP
+/// pathology at speed 0).
+///
+/// # Examples
+///
+/// ```
+/// use glr_mobility::{MobilityModel, RandomWaypoint, Region};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = RandomWaypoint::paper(Region::PAPER_STRIP);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let traj = model.trajectory(glr_geometry::Point2::new(10.0, 10.0), 100.0, &mut rng);
+/// assert!(traj.end_time() >= 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    region: Region,
+    speed_min: f64,
+    speed_max: f64,
+    pause: f64,
+}
+
+/// Minimum effective speed (m/s); sampled speeds below this are clamped.
+const SPEED_FLOOR: f64 = 0.01;
+
+impl RandomWaypoint {
+    /// Creates a random-waypoint model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_min > speed_max`, `speed_max <= 0`, or `pause < 0`.
+    pub fn new(region: Region, speed_min: f64, speed_max: f64, pause: f64) -> Self {
+        assert!(
+            speed_min >= 0.0 && speed_max > 0.0 && speed_min <= speed_max,
+            "invalid speed range [{speed_min}, {speed_max}]"
+        );
+        assert!(pause >= 0.0, "pause must be non-negative");
+        RandomWaypoint {
+            region,
+            speed_min,
+            speed_max,
+            pause,
+        }
+    }
+
+    /// The paper's configuration: uniform 0–20 m/s, zero pause.
+    pub fn paper(region: Region) -> Self {
+        RandomWaypoint::new(region, 0.0, 20.0, 0.0)
+    }
+
+    /// The deployment region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn trajectory<R: Rng + ?Sized>(
+        &self,
+        start: Point2,
+        duration: f64,
+        rng: &mut R,
+    ) -> Trajectory {
+        let mut keyframes = vec![(0.0, self.region.clamp(start))];
+        let mut t = 0.0;
+        let mut pos = self.region.clamp(start);
+        while t < duration {
+            let target = self.region.random_point(rng);
+            let speed = rng
+                .random_range(self.speed_min..=self.speed_max)
+                .max(SPEED_FLOOR);
+            let travel = pos.dist(target) / speed;
+            if travel > 0.0 {
+                t += travel;
+                pos = target;
+                keyframes.push((t, pos));
+            }
+            if self.pause > 0.0 {
+                t += self.pause;
+                keyframes.push((t, pos));
+            }
+        }
+        Trajectory::from_keyframes(keyframes)
+    }
+}
+
+/// A random walk: pick a uniform direction and a travel period, walk at a
+/// uniformly-sampled speed, reflecting off region boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    region: Region,
+    speed_min: f64,
+    speed_max: f64,
+    /// Duration of each leg in seconds.
+    step_time: f64,
+}
+
+impl RandomWalk {
+    /// Creates a random-walk model with the given leg duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid speed range or non-positive `step_time`.
+    pub fn new(region: Region, speed_min: f64, speed_max: f64, step_time: f64) -> Self {
+        assert!(
+            speed_min >= 0.0 && speed_max > 0.0 && speed_min <= speed_max,
+            "invalid speed range [{speed_min}, {speed_max}]"
+        );
+        assert!(step_time > 0.0, "step_time must be positive");
+        RandomWalk {
+            region,
+            speed_min,
+            speed_max,
+            step_time,
+        }
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn trajectory<R: Rng + ?Sized>(
+        &self,
+        start: Point2,
+        duration: f64,
+        rng: &mut R,
+    ) -> Trajectory {
+        let mut keyframes = vec![(0.0, self.region.clamp(start))];
+        let mut t = 0.0;
+        let mut pos = self.region.clamp(start);
+        while t < duration {
+            let angle = rng.random_range(0.0..std::f64::consts::TAU);
+            let speed = rng
+                .random_range(self.speed_min..=self.speed_max)
+                .max(SPEED_FLOOR);
+            let mut target = pos
+                + Point2::new(angle.cos(), angle.sin()) * (speed * self.step_time);
+            // Reflect off boundaries.
+            target = reflect(target, self.region);
+            t += self.step_time;
+            pos = target;
+            keyframes.push((t, pos));
+        }
+        Trajectory::from_keyframes(keyframes)
+    }
+}
+
+/// Reflects a point back into the region (single bounce per axis, adequate
+/// for legs shorter than the region size; clamped as a fallback).
+fn reflect(p: Point2, region: Region) -> Point2 {
+    let mut x = p.x;
+    let mut y = p.y;
+    if x < 0.0 {
+        x = -x;
+    }
+    if x > region.width() {
+        x = 2.0 * region.width() - x;
+    }
+    if y < 0.0 {
+        y = -y;
+    }
+    if y > region.height() {
+        y = 2.0 * region.height() - y;
+    }
+    region.clamp(Point2::new(x, y))
+}
+
+/// A model whose nodes never move — the degenerate baseline used by tests
+/// and static-topology analyses (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stationary;
+
+impl MobilityModel for Stationary {
+    fn trajectory<R: Rng + ?Sized>(
+        &self,
+        start: Point2,
+        _duration: f64,
+        _rng: &mut R,
+    ) -> Trajectory {
+        Trajectory::stationary(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rwp_stays_in_region_and_covers_duration() {
+        let region = Region::PAPER_STRIP;
+        let model = RandomWaypoint::paper(region);
+        let mut rng = StdRng::seed_from_u64(1);
+        let traj = model.trajectory(Point2::new(0.0, 0.0), 500.0, &mut rng);
+        assert!(traj.end_time() >= 500.0);
+        for i in 0..100 {
+            let p = traj.position_at(i as f64 * 5.0);
+            assert!(region.contains(p), "escaped region at t={i}");
+        }
+    }
+
+    #[test]
+    fn rwp_deterministic_per_seed() {
+        let model = RandomWaypoint::paper(Region::PAPER_SQUARE);
+        let t1 = model.trajectory(
+            Point2::new(5.0, 5.0),
+            200.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let t2 = model.trajectory(
+            Point2::new(5.0, 5.0),
+            200.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn rwp_speed_within_range() {
+        let model = RandomWaypoint::new(Region::PAPER_SQUARE, 5.0, 10.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = model.trajectory(Point2::new(500.0, 500.0), 300.0, &mut rng);
+        for i in 1..60 {
+            let s = traj.speed_at(i as f64 * 5.0);
+            if s > 0.0 {
+                assert!(
+                    s >= 5.0 - 1e-9 && s <= 10.0 + 1e-9,
+                    "speed {s} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rwp_pause_inserts_zero_speed_intervals() {
+        let model = RandomWaypoint::new(Region::PAPER_SQUARE, 10.0, 10.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let traj = model.trajectory(Point2::new(500.0, 500.0), 400.0, &mut rng);
+        // Pauses appear as consecutive keyframes at the same position.
+        let has_pause = traj
+            .keyframes()
+            .windows(2)
+            .any(|w| w[0].1 == w[1].1 && w[1].0 > w[0].0);
+        assert!(has_pause);
+    }
+
+    #[test]
+    fn walk_stays_in_region() {
+        let region = Region::new(200.0, 200.0);
+        let model = RandomWalk::new(region, 1.0, 5.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let traj = model.trajectory(Point2::new(100.0, 100.0), 600.0, &mut rng);
+        for i in 0..120 {
+            assert!(region.contains(traj.position_at(i as f64 * 5.0)));
+        }
+    }
+
+    #[test]
+    fn stationary_model_is_constant() {
+        let model = Stationary;
+        let mut rng = StdRng::seed_from_u64(2);
+        let traj = model.trajectory(Point2::new(7.0, 8.0), 100.0, &mut rng);
+        assert_eq!(traj.position_at(50.0), Point2::new(7.0, 8.0));
+    }
+
+    #[test]
+    fn deployment_generates_n_trajectories() {
+        let model = RandomWaypoint::paper(Region::PAPER_STRIP);
+        let mut rng = StdRng::seed_from_u64(6);
+        let trajs = model.deployment(Region::PAPER_STRIP, 50, 100.0, &mut rng);
+        assert_eq!(trajs.len(), 50);
+        // Starting positions are spread out (not all identical).
+        let first = trajs[0].position_at(0.0);
+        assert!(trajs.iter().any(|t| t.position_at(0.0) != first));
+    }
+
+    #[test]
+    fn reflect_bounces_back() {
+        let region = Region::new(100.0, 100.0);
+        assert_eq!(reflect(Point2::new(-10.0, 50.0), region), Point2::new(10.0, 50.0));
+        assert_eq!(reflect(Point2::new(110.0, 50.0), region), Point2::new(90.0, 50.0));
+        assert_eq!(reflect(Point2::new(50.0, -20.0), region), Point2::new(50.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed range")]
+    fn bad_speed_range_panics() {
+        RandomWaypoint::new(Region::PAPER_SQUARE, 10.0, 5.0, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Piecewise-linear node trajectories.
+//!
+//! Every mobility model compiles to a [`Trajectory`]: a sorted list of
+//! `(time, position)` keyframes with linear interpolation in between and
+//! clamping outside. This lets the (event-driven) simulator evaluate any
+//! node's position at any instant in `O(log k)` without stepping the
+//! mobility model.
+
+use glr_geometry::Point2;
+
+/// A piecewise-linear trajectory through the plane.
+///
+/// # Examples
+///
+/// ```
+/// use glr_mobility::Trajectory;
+/// use glr_geometry::Point2;
+///
+/// let t = Trajectory::from_keyframes(vec![
+///     (0.0, Point2::new(0.0, 0.0)),
+///     (10.0, Point2::new(100.0, 0.0)),
+/// ]);
+/// assert_eq!(t.position_at(5.0), Point2::new(50.0, 0.0));
+/// assert_eq!(t.position_at(-1.0), Point2::new(0.0, 0.0)); // clamped
+/// assert_eq!(t.position_at(99.0), Point2::new(100.0, 0.0)); // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    keyframes: Vec<(f64, Point2)>,
+}
+
+impl Trajectory {
+    /// A trajectory that never moves.
+    pub fn stationary(p: Point2) -> Self {
+        Trajectory {
+            keyframes: vec![(0.0, p)],
+        }
+    }
+
+    /// Builds a trajectory from `(time, position)` keyframes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyframes` is empty, times are not strictly increasing,
+    /// or any coordinate is non-finite.
+    pub fn from_keyframes(keyframes: Vec<(f64, Point2)>) -> Self {
+        assert!(!keyframes.is_empty(), "a trajectory needs at least one keyframe");
+        for w in keyframes.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "keyframe times must be strictly increasing ({} then {})",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for &(t, p) in &keyframes {
+            assert!(t.is_finite() && p.is_finite(), "non-finite keyframe");
+        }
+        Trajectory { keyframes }
+    }
+
+    /// The keyframes.
+    pub fn keyframes(&self) -> &[(f64, Point2)] {
+        &self.keyframes
+    }
+
+    /// Position at time `t`, clamped to the first/last keyframe outside the
+    /// covered interval.
+    pub fn position_at(&self, t: f64) -> Point2 {
+        let kf = &self.keyframes;
+        if t <= kf[0].0 {
+            return kf[0].1;
+        }
+        if t >= kf[kf.len() - 1].0 {
+            return kf[kf.len() - 1].1;
+        }
+        // Binary search for the segment containing t.
+        let mut lo = 0;
+        let mut hi = kf.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if kf[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, p0) = kf[lo];
+        let (t1, p1) = kf[hi];
+        p0.lerp(p1, (t - t0) / (t1 - t0))
+    }
+
+    /// End time of the last keyframe.
+    pub fn end_time(&self) -> f64 {
+        self.keyframes[self.keyframes.len() - 1].0
+    }
+
+    /// Instantaneous speed at time `t` (0 outside the covered interval and
+    /// at exact keyframes use the following segment).
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let kf = &self.keyframes;
+        if t < kf[0].0 || t >= kf[kf.len() - 1].0 {
+            return 0.0;
+        }
+        let mut lo = 0;
+        let mut hi = kf.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if kf[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, p0) = kf[lo];
+        let (t1, p1) = kf[hi];
+        p0.dist(p1) / (t1 - t0)
+    }
+
+    /// Total path length travelled.
+    pub fn path_length(&self) -> f64 {
+        self.keyframes
+            .windows(2)
+            .map(|w| w[0].1.dist(w[1].1))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_midpoints() {
+        let t = Trajectory::from_keyframes(vec![
+            (0.0, Point2::new(0.0, 0.0)),
+            (10.0, Point2::new(10.0, 0.0)),
+            (20.0, Point2::new(10.0, 10.0)),
+        ]);
+        assert_eq!(t.position_at(5.0), Point2::new(5.0, 0.0));
+        assert_eq!(t.position_at(15.0), Point2::new(10.0, 5.0));
+        assert_eq!(t.position_at(10.0), Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn clamping_before_and_after() {
+        let t = Trajectory::from_keyframes(vec![
+            (5.0, Point2::new(1.0, 1.0)),
+            (6.0, Point2::new(2.0, 2.0)),
+        ]);
+        assert_eq!(t.position_at(0.0), Point2::new(1.0, 1.0));
+        assert_eq!(t.position_at(100.0), Point2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn stationary_everywhere() {
+        let t = Trajectory::stationary(Point2::new(3.0, 4.0));
+        for time in [0.0, 1.0, 1e6] {
+            assert_eq!(t.position_at(time), Point2::new(3.0, 4.0));
+        }
+        assert_eq!(t.path_length(), 0.0);
+    }
+
+    #[test]
+    fn speeds() {
+        let t = Trajectory::from_keyframes(vec![
+            (0.0, Point2::new(0.0, 0.0)),
+            (10.0, Point2::new(100.0, 0.0)), // 10 m/s
+            (20.0, Point2::new(100.0, 0.0)), // pause
+        ]);
+        assert!((t.speed_at(5.0) - 10.0).abs() < 1e-12);
+        assert_eq!(t.speed_at(15.0), 0.0);
+        assert_eq!(t.speed_at(25.0), 0.0);
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let t = Trajectory::from_keyframes(vec![
+            (0.0, Point2::new(0.0, 0.0)),
+            (1.0, Point2::new(3.0, 4.0)),
+            (2.0, Point2::new(3.0, 0.0)),
+        ]);
+        assert!((t.path_length() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_keyframes_panic() {
+        Trajectory::from_keyframes(vec![
+            (1.0, Point2::ORIGIN),
+            (1.0, Point2::new(1.0, 0.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_keyframes_panic() {
+        Trajectory::from_keyframes(Vec::new());
+    }
+}

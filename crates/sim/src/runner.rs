@@ -1,0 +1,141 @@
+//! Multi-run experiment harness.
+//!
+//! Every number in the paper is a mean over 10 runs with distinct
+//! topologies and movement patterns, reported with a 90 % confidence
+//! interval. [`MultiRun`] drives that: it re-seeds the configuration for
+//! each run, collects [`RunStats`], and summarises any metric across runs.
+
+use crate::config::SimConfig;
+use crate::stats::{summarize, RunStats, Summary};
+
+/// Results of repeating one experiment across several seeds.
+#[derive(Debug, Clone)]
+pub struct MultiRun {
+    runs: Vec<RunStats>,
+}
+
+impl MultiRun {
+    /// Executes `runs` simulations, seeding run `i` with `base_seed + i`,
+    /// and collects their statistics. `run_fn` receives the per-run
+    /// configuration and must return that run's [`RunStats`] (typically by
+    /// constructing a `Simulation` and calling `run()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn execute(
+        config: &SimConfig,
+        runs: usize,
+        mut run_fn: impl FnMut(SimConfig) -> RunStats,
+    ) -> Self {
+        assert!(runs > 0, "need at least one run");
+        let collected = (0..runs)
+            .map(|i| run_fn(config.clone().with_seed(config.seed + i as u64)))
+            .collect();
+        MultiRun { runs: collected }
+    }
+
+    /// Wraps already-collected run statistics.
+    pub fn from_runs(runs: Vec<RunStats>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        MultiRun { runs }
+    }
+
+    /// The individual run statistics.
+    pub fn runs(&self) -> &[RunStats] {
+        &self.runs
+    }
+
+    /// Summarises an arbitrary per-run metric.
+    pub fn metric(&self, f: impl Fn(&RunStats) -> f64) -> Summary {
+        let xs: Vec<f64> = self.runs.iter().map(f).collect();
+        summarize(&xs)
+    }
+
+    /// Delivery ratio across runs.
+    pub fn delivery_ratio(&self) -> Summary {
+        self.metric(|r| r.delivery_ratio())
+    }
+
+    /// Mean latency across runs (runs with no deliveries contribute the
+    /// full simulated duration as a pessimistic bound — they would
+    /// otherwise silently vanish from the average).
+    pub fn avg_latency(&self, undelivered_penalty: f64) -> Summary {
+        self.metric(|r| r.avg_latency().unwrap_or(undelivered_penalty))
+    }
+
+    /// Mean hop count across runs (0 when nothing was delivered).
+    pub fn avg_hops(&self) -> Summary {
+        self.metric(|r| r.avg_hops().unwrap_or(0.0))
+    }
+
+    /// Max peak storage across runs.
+    pub fn max_peak_storage(&self) -> Summary {
+        self.metric(|r| r.max_peak_storage() as f64)
+    }
+
+    /// Average peak storage across runs.
+    pub fn avg_peak_storage(&self) -> Summary {
+        self.metric(|r| r.avg_peak_storage())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::stats::RunStats;
+    use crate::time::SimTime;
+
+    fn fake_run(delivered: usize, total: usize) -> RunStats {
+        let mut s = RunStats::new(4);
+        for i in 0..total {
+            let id = crate::ids::MessageId {
+                src: NodeId(0),
+                seq: i as u32,
+            };
+            s.register_message(id, NodeId(0), NodeId(1), SimTime::ZERO);
+            if i < delivered {
+                s.record_delivery(id, SimTime::from_secs(10.0 + i as f64), 2);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn metric_aggregation() {
+        let mr = MultiRun::from_runs(vec![fake_run(8, 10), fake_run(10, 10), fake_run(9, 10)]);
+        let dr = mr.delivery_ratio();
+        assert!((dr.mean - 0.9).abs() < 1e-12);
+        assert!(dr.ci90 > 0.0);
+        assert_eq!(dr.n, 3);
+        let hops = mr.avg_hops();
+        assert_eq!(hops.mean, 2.0);
+    }
+
+    #[test]
+    fn latency_penalty_for_empty_runs() {
+        let mr = MultiRun::from_runs(vec![fake_run(0, 5), fake_run(5, 5)]);
+        let lat = mr.avg_latency(1000.0);
+        assert!(lat.mean > 100.0, "penalty must dominate: {}", lat.mean);
+    }
+
+    #[test]
+    fn execute_reseeds() {
+        let cfg = SimConfig::paper(100.0, 10);
+        let mut seeds = Vec::new();
+        let mr = MultiRun::execute(&cfg, 3, |c| {
+            seeds.push(c.seed);
+            RunStats::new(2)
+        });
+        assert_eq!(seeds, vec![10, 11, 12]);
+        assert_eq!(mr.runs().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let cfg = SimConfig::paper(100.0, 0);
+        MultiRun::execute(&cfg, 0, |_| RunStats::new(2));
+    }
+}

@@ -1,0 +1,964 @@
+//! The discrete-event simulation engine.
+//!
+//! This is the NS-2 substitute described in DESIGN.md: a deterministic
+//! event-driven simulator with
+//!
+//! * piecewise-linear node mobility (sampled lazily from trajectories),
+//! * a unit-disk radio with per-node FIFO transmit queues (capacity 150,
+//!   like the paper's link-layer queue), serialisation at the configured
+//!   data rate, carrier-sense backoff that grows with the number of
+//!   concurrently-busy transmitters in range, and probabilistic collision
+//!   loss that grows with the number of interferers near the receiver,
+//! * IMEP-style neighbour sensing: periodic beacons carrying the sender's
+//!   position and 1-hop table, maintaining per-node 1-hop and 2-hop
+//!   neighbour tables with timestamps (so protocol views are *stale*, as
+//!   in the paper),
+//! * workload injection and statistics collection.
+//!
+//! Protocols implement [`Protocol`] and interact with the world through
+//! [`Ctx`]. All randomness flows from the seed in [`crate::SimConfig`], so
+//! a run is a pure function of `(config, workload, protocol)`.
+
+use crate::config::SimConfig;
+use crate::ids::{MessageId, MessageInfo, NodeId};
+use crate::stats::RunStats;
+use crate::time::SimTime;
+use crate::workload::Workload;
+use glr_geometry::Point2;
+use glr_mobility::{MobilityModel, RandomWaypoint, Trajectory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Whether a frame carries user data or protocol control information
+/// (acknowledgements, summary vectors, …). Only affects accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// End-to-end message payload.
+    Data,
+    /// Protocol control traffic.
+    Control,
+}
+
+/// A neighbour-table entry: where a node was when we last heard it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborEntry {
+    /// The neighbour.
+    pub id: NodeId,
+    /// Its position at the time of the beacon that created this entry.
+    pub pos: Point2,
+    /// When the information was obtained.
+    pub heard_at: SimTime,
+}
+
+/// Error returned by [`Ctx::send`] when the link-layer queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link-layer transmit queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A routing protocol instance running on one node.
+///
+/// One value of the implementing type exists per node; the simulator calls
+/// the hooks below as events unfold. Default implementations make every
+/// hook optional except message handling.
+pub trait Protocol: Sized {
+    /// The protocol's over-the-air packet type.
+    type Packet: Clone + std::fmt::Debug;
+
+    /// Called once at simulation start.
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Packet>) {
+        let _ = ctx;
+    }
+
+    /// The workload created a new end-to-end message at this node.
+    fn on_message_created(&mut self, ctx: &mut Ctx<'_, Self::Packet>, info: MessageInfo);
+
+    /// A frame from `from` arrived at this node.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Self::Packet>, from: NodeId, packet: Self::Packet);
+
+    /// A node entered radio contact (its beacon was heard and it was not in
+    /// the fresh neighbour table before).
+    fn on_neighbor_appeared(&mut self, ctx: &mut Ctx<'_, Self::Packet>, nbr: NodeId) {
+        let _ = (ctx, nbr);
+    }
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Packet>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Number of end-to-end messages currently occupying this node's
+    /// storage (Store + Cache for GLR, buffer for epidemic); sampled
+    /// periodically for the storage statistics.
+    fn storage_used(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Beacon(NodeId),
+    TxComplete(NodeId),
+    Timer(NodeId, u64),
+    Inject(u32),
+    StatsSample,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for QEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Radio
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Frame<Pk> {
+    to: NodeId,
+    packet: Pk,
+    size: u32,
+    kind: PacketKind,
+    retries: u32,
+}
+
+/// Why a frame failed at the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameLoss {
+    Collision,
+    OutOfRange,
+}
+
+#[derive(Debug, Clone)]
+struct Radio<Pk> {
+    queue: VecDeque<Frame<Pk>>,
+    current: Option<Frame<Pk>>,
+}
+
+impl<Pk> Default for Radio<Pk> {
+    fn default() -> Self {
+        Radio {
+            queue: VecDeque::new(),
+            current: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core world state
+// ---------------------------------------------------------------------------
+
+struct Core<Pk> {
+    config: SimConfig,
+    trajectories: Vec<Trajectory>,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QEvent>>,
+    seq: u64,
+    radios: Vec<Radio<Pk>>,
+    one_hop: Vec<Vec<NeighborEntry>>,
+    two_hop: Vec<Vec<NeighborEntry>>,
+    rng: StdRng,
+    stats: RunStats,
+}
+
+impl<Pk: Clone + std::fmt::Debug> Core<Pk> {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(QEvent {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn pos(&self, node: NodeId, t: SimTime) -> Point2 {
+        self.trajectories[node.index()].position_at(t.as_secs())
+    }
+
+    /// Nodes currently within `range` of `p`, excluding `except`.
+    fn nodes_within(&self, p: Point2, range: f64, except: NodeId) -> Vec<NodeId> {
+        let t = self.now;
+        (0..self.config.n_nodes as u32)
+            .map(NodeId)
+            .filter(|&v| v != except && self.pos(v, t).dist(p) <= range)
+            .collect()
+    }
+
+    /// Number of other nodes actively transmitting within `range` of `p`.
+    fn busy_transmitters_near(&self, p: Point2, range: f64, except: NodeId) -> usize {
+        let t = self.now;
+        (0..self.config.n_nodes as u32)
+            .map(NodeId)
+            .filter(|&v| {
+                v != except
+                    && self.radios[v.index()].current.is_some()
+                    && self.pos(v, t).dist(p) <= range
+            })
+            .count()
+    }
+
+    fn start_tx_if_idle(&mut self, u: NodeId) {
+        let ui = u.index();
+        if self.radios[ui].current.is_some() || self.radios[ui].queue.is_empty() {
+            return;
+        }
+        let frame = self.radios[ui].queue.pop_front().expect("queue non-empty");
+        let pos_u = self.pos(u, self.now);
+        // Carrier sense: back off proportionally to busy transmitters in a
+        // two-radius neighbourhood, plus random jitter of one slot.
+        let contention =
+            self.busy_transmitters_near(pos_u, 2.0 * self.config.radio_range, u) as f64;
+        let jitter: f64 = self.rng.random_range(0.0..=1.0);
+        let access = self.config.mac_slot * (contention + jitter);
+        let duration = self.config.tx_time(frame.size);
+        let done = self.now + access + duration;
+        self.radios[ui].current = Some(frame);
+        self.schedule(done, EventKind::TxComplete(u));
+    }
+
+    /// Queue a frame for transmission from `u`. Control frames are short
+    /// (acks, summary vectors) and jump ahead of queued data — modelling
+    /// the MAC-level priority short frames enjoy in practice; without it,
+    /// custody acknowledgements would sit behind seconds of queued data
+    /// and every cache timeout would fork a duplicate copy.
+    fn enqueue_frame(&mut self, u: NodeId, frame: Frame<Pk>) -> Result<(), QueueFull> {
+        let ui = u.index();
+        if self.radios[ui].queue.len() >= self.config.queue_limit {
+            self.stats.queue_drops += 1;
+            return Err(QueueFull);
+        }
+        match frame.kind {
+            PacketKind::Control => {
+                // Behind any already-queued control frames, ahead of data.
+                let at = self.radios[ui]
+                    .queue
+                    .iter()
+                    .position(|f| f.kind == PacketKind::Data)
+                    .unwrap_or(self.radios[ui].queue.len());
+                self.radios[ui].queue.insert(at, frame);
+            }
+            PacketKind::Data => self.radios[ui].queue.push_back(frame),
+        }
+        self.start_tx_if_idle(u);
+        Ok(())
+    }
+
+    /// Fresh (non-expired) one-hop entries for `u`.
+    fn fresh_one_hop(&self, u: NodeId) -> Vec<NeighborEntry> {
+        let horizon = self.now.as_secs() - self.config.neighbor_ttl;
+        self.one_hop[u.index()]
+            .iter()
+            .filter(|e| e.heard_at.as_secs() >= horizon)
+            .copied()
+            .collect()
+    }
+
+    /// Fresh two-hop entries for `u` (excluding `u` itself and its one-hop
+    /// neighbours' duplicates — the freshest entry per id wins).
+    fn fresh_view(&self, u: NodeId) -> Vec<NeighborEntry> {
+        let horizon = self.now.as_secs() - self.config.neighbor_ttl;
+        let mut best: std::collections::HashMap<NodeId, NeighborEntry> = Default::default();
+        for e in self.one_hop[u.index()]
+            .iter()
+            .chain(self.two_hop[u.index()].iter())
+        {
+            if e.heard_at.as_secs() < horizon || e.id == u {
+                continue;
+            }
+            match best.get(&e.id) {
+                Some(cur) if cur.heard_at >= e.heard_at => {}
+                _ => {
+                    best.insert(e.id, *e);
+                }
+            }
+        }
+        let mut out: Vec<NeighborEntry> = best.into_values().collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+
+    fn upsert(table: &mut Vec<NeighborEntry>, entry: NeighborEntry) {
+        match table.iter_mut().find(|e| e.id == entry.id) {
+            Some(e) => {
+                if entry.heard_at >= e.heard_at {
+                    *e = entry;
+                }
+            }
+            None => table.push(entry),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ctx — the protocol's window on the world
+// ---------------------------------------------------------------------------
+
+/// The environment handed to every [`Protocol`] hook: clock, position,
+/// neighbour tables, radio, timers, RNG, and statistics reporting.
+pub struct Ctx<'a, Pk> {
+    core: &'a mut Core<Pk>,
+    me: NodeId,
+}
+
+impl<'a, Pk: Clone + std::fmt::Debug> Ctx<'a, Pk> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The run configuration (node count, region, radio range, …). The
+    /// paper lets nodes use these global constants for the copy-count
+    /// decision ("any node can calculate the network connectivity and the
+    /// node density").
+    pub fn config(&self) -> &SimConfig {
+        &self.core.config
+    }
+
+    /// This node's own (GPS) position — always accurate.
+    pub fn my_pos(&self) -> Point2 {
+        self.core.pos(self.me, self.core.now)
+    }
+
+    /// Ground-truth position of an arbitrary node.
+    ///
+    /// Protocols may only use this where the paper grants an oracle: the
+    /// "source knows the true destination location" assumption and the
+    /// Table 2 "all nodes know" scenario. Everything else must go through
+    /// [`Ctx::neighbors`]/[`Ctx::local_view`] or protocol-level location
+    /// diffusion.
+    pub fn true_pos(&self, node: NodeId) -> Point2 {
+        self.core.pos(node, self.core.now)
+    }
+
+    /// Fresh one-hop neighbour entries (positions are as of each
+    /// neighbour's last beacon, so up to `beacon_interval` stale).
+    pub fn neighbors(&self) -> Vec<NeighborEntry> {
+        self.core.fresh_one_hop(self.me)
+    }
+
+    /// Fresh merged 1- and 2-hop entries — the "distance two neighbourhood
+    /// information" the paper's nodes collect to build the LDTG.
+    pub fn local_view(&self) -> Vec<NeighborEntry> {
+        self.core.fresh_view(self.me)
+    }
+
+    /// Queues a unicast frame to `to`.
+    ///
+    /// Delivery is not guaranteed: the frame can be lost to collisions or
+    /// because `to` moved out of range; the sender is *not* notified
+    /// (protocols needing reliability implement acknowledgements, as GLR's
+    /// custody transfer does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the link-layer queue already holds
+    /// `queue_limit` frames; the frame is dropped, matching NS-2's
+    /// drop-tail `IFq` behaviour.
+    pub fn send(
+        &mut self,
+        to: NodeId,
+        packet: Pk,
+        size: u32,
+        kind: PacketKind,
+    ) -> Result<(), QueueFull> {
+        self.core.enqueue_frame(
+            self.me,
+            Frame {
+                to,
+                packet,
+                size,
+                kind,
+                retries: 0,
+            },
+        )
+    }
+
+    /// Number of frames waiting in this node's transmit queue.
+    pub fn tx_queue_len(&self) -> usize {
+        self.core.radios[self.me.index()].queue.len()
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `token` after `delay` seconds.
+    pub fn set_timer(&mut self, delay: f64, token: u64) {
+        assert!(delay >= 0.0, "timer delay must be non-negative");
+        let at = self.core.now + delay;
+        self.core.schedule(at, EventKind::Timer(self.me, token));
+    }
+
+    /// Reports end-to-end delivery of `id` at this node (call at the
+    /// destination, first reception; duplicates are tolerated and counted).
+    pub fn deliver(&mut self, id: MessageId, hops: u32) {
+        let now = self.core.now;
+        self.core.stats.record_delivery(id, now, hops);
+    }
+
+    /// Reports that this node dropped a stored message under storage
+    /// pressure (Figure 7 accounting).
+    pub fn report_storage_drop(&mut self) {
+        self.core.stats.storage_drops += 1;
+    }
+
+    /// Increments a named protocol event counter (diagnostics; shows up in
+    /// [`crate::RunStats::counters`]).
+    pub fn count_event(&mut self, name: &'static str) {
+        self.core.stats.count_event(name);
+    }
+
+    /// Deterministic per-run random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+/// A complete simulation: world, protocols, workload and statistics.
+///
+/// # Examples
+///
+/// A protocol that does nothing still compiles and runs:
+///
+/// ```
+/// use glr_sim::{Ctx, MessageInfo, NodeId, Protocol, SimConfig, Simulation, Workload};
+///
+/// struct Idle;
+/// impl Protocol for Idle {
+///     type Packet = ();
+///     fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+///     fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+/// }
+///
+/// let cfg = SimConfig::paper(100.0, 1).with_duration(30.0);
+/// let wl = Workload::paper_style(50, 10, 1000);
+/// let stats = Simulation::new(cfg, wl, |_, _| Idle).run();
+/// assert_eq!(stats.messages_created(), 10);
+/// assert_eq!(stats.delivery_ratio(), 0.0);
+/// ```
+pub struct Simulation<P: Protocol> {
+    core: Core<P::Packet>,
+    protocols: Vec<Option<P>>,
+    workload: Workload,
+    message_ids: Vec<MessageId>,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Builds a simulation. `factory` constructs the protocol instance for
+    /// each node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the workload references
+    /// nodes outside `0..n_nodes`.
+    pub fn new(
+        config: SimConfig,
+        workload: Workload,
+        mut factory: impl FnMut(NodeId, &SimConfig) -> P,
+    ) -> Self {
+        config.validate();
+        for m in workload.messages() {
+            assert!(
+                m.src.index() < config.n_nodes && m.dst.index() < config.n_nodes,
+                "workload references node outside deployment"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let model = RandomWaypoint::new(
+            config.region,
+            config.speed_range.0,
+            config.speed_range.1,
+            config.pause_time,
+        );
+        let trajectories =
+            model.deployment(config.region, config.n_nodes, config.sim_duration, &mut rng);
+        let n = config.n_nodes;
+        let protocols = (0..n as u32)
+            .map(|i| Some(factory(NodeId(i), &config)))
+            .collect();
+        let message_ids = (0..workload.len()).map(|i| workload.message_id(i)).collect();
+        let core = Core {
+            stats: RunStats::new(n),
+            trajectories,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            radios: (0..n).map(|_| Radio::default()).collect(),
+            one_hop: vec![Vec::new(); n],
+            two_hop: vec![Vec::new(); n],
+            rng,
+            config,
+        };
+        Simulation {
+            core,
+            protocols,
+            workload,
+            message_ids,
+        }
+    }
+
+    fn with_protocol<R>(
+        core: &mut Core<P::Packet>,
+        protocols: &mut [Option<P>],
+        node: NodeId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Packet>) -> R,
+    ) -> R {
+        let mut p = protocols[node.index()]
+            .take()
+            .expect("re-entrant protocol invocation");
+        let mut ctx = Ctx { core, me: node };
+        let r = f(&mut p, &mut ctx);
+        protocols[node.index()] = Some(p);
+        r
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    pub fn run(mut self) -> RunStats {
+        let duration = self.core.config.sim_duration;
+        let n = self.core.config.n_nodes;
+
+        // Phase-staggered beacons.
+        for i in 0..n as u32 {
+            let phase =
+                self.core.config.beacon_interval * (i as f64 + 1.0) / (n as f64 + 1.0);
+            self.core
+                .schedule(SimTime::from_secs(phase), EventKind::Beacon(NodeId(i)));
+        }
+        // Workload injections.
+        for (i, m) in self.workload.messages().iter().enumerate() {
+            self.core.schedule(m.at, EventKind::Inject(i as u32));
+        }
+        // Storage sampling.
+        self.core.schedule(
+            SimTime::from_secs(self.core.config.stats_interval),
+            EventKind::StatsSample,
+        );
+
+        // Init hooks.
+        for i in 0..n as u32 {
+            Self::with_protocol(&mut self.core, &mut self.protocols, NodeId(i), |p, ctx| {
+                p.on_init(ctx)
+            });
+        }
+
+        while let Some(&Reverse(ev)) = self.core.queue.peek() {
+            if ev.at.as_secs() > duration {
+                break;
+            }
+            self.core.queue.pop();
+            self.core.now = ev.at;
+            match ev.kind {
+                EventKind::Beacon(u) => self.handle_beacon(u),
+                EventKind::TxComplete(u) => self.handle_tx_complete(u),
+                EventKind::Timer(u, token) => {
+                    Self::with_protocol(&mut self.core, &mut self.protocols, u, |p, ctx| {
+                        p.on_timer(ctx, token)
+                    });
+                }
+                EventKind::Inject(i) => self.handle_inject(i as usize),
+                EventKind::StatsSample => {
+                    for i in 0..n {
+                        let used = self.protocols[i]
+                            .as_ref()
+                            .expect("protocol present")
+                            .storage_used();
+                        self.core.stats.sample_storage(NodeId(i as u32), used);
+                    }
+                    let next = self.core.now + self.core.config.stats_interval;
+                    self.core.schedule(next, EventKind::StatsSample);
+                }
+            }
+        }
+        self.core.stats
+    }
+
+    fn handle_beacon(&mut self, u: NodeId) {
+        let now = self.core.now;
+        let pos_u = self.core.pos(u, now);
+        let range = self.core.config.radio_range;
+        let mut receivers = self.core.nodes_within(pos_u, range, u);
+        receivers.sort_unstable();
+        // Snapshot of u's one-hop table rides along in the beacon (2-hop info).
+        let snapshot = self.core.fresh_one_hop(u);
+        self.core.stats.control_tx += 1;
+
+        let horizon = now.as_secs() - self.core.config.neighbor_ttl;
+        for v in receivers {
+            let vi = v.index();
+            let was_fresh = self.core.one_hop[vi]
+                .iter()
+                .any(|e| e.id == u && e.heard_at.as_secs() >= horizon);
+            Core::<P::Packet>::upsert(
+                &mut self.core.one_hop[vi],
+                NeighborEntry {
+                    id: u,
+                    pos: pos_u,
+                    heard_at: now,
+                },
+            );
+            for e in &snapshot {
+                if e.id != v {
+                    Core::<P::Packet>::upsert(&mut self.core.two_hop[vi], *e);
+                }
+            }
+            // Garbage-collect expired entries occasionally to bound memory.
+            self.core.one_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
+            self.core.two_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
+            if !was_fresh {
+                Self::with_protocol(&mut self.core, &mut self.protocols, v, |p, ctx| {
+                    p.on_neighbor_appeared(ctx, u)
+                });
+            }
+        }
+        let next = now + self.core.config.beacon_interval;
+        self.core.schedule(next, EventKind::Beacon(u));
+    }
+
+    fn handle_tx_complete(&mut self, u: NodeId) {
+        let frame = self.core.radios[u.index()]
+            .current
+            .take()
+            .expect("TxComplete without a frame in flight");
+        let now = self.core.now;
+        let pos_u = self.core.pos(u, now);
+        let to = frame.to;
+        let pos_to = self.core.pos(to, now);
+        let range = self.core.config.radio_range;
+
+        let failure = if pos_u.dist(pos_to) > range {
+            Some(FrameLoss::OutOfRange)
+        } else {
+            // Interference near the receiver (includes hidden terminals).
+            let k = self.core.busy_transmitters_near(pos_to, range, u);
+            let p_loss = 1.0 - (1.0 - self.core.config.collision_prob).powi(k as i32);
+            if k > 0 && self.core.rng.random_range(0.0..1.0) < p_loss {
+                Some(FrameLoss::Collision)
+            } else {
+                None
+            }
+        };
+
+        if let Some(loss) = failure {
+            match loss {
+                FrameLoss::Collision => self.core.stats.collisions += 1,
+                FrameLoss::OutOfRange => self.core.stats.out_of_range += 1,
+            }
+            // 802.11-style ARQ: retry with exponential backoff until the
+            // retry budget is spent; the radio stays busy meanwhile
+            // (head-of-line blocking, the paper's contention mechanism).
+            if frame.retries < self.core.config.mac_retries {
+                let mut frame = frame;
+                frame.retries += 1;
+                let slots = (1u32 << frame.retries.min(10)) as f64;
+                let jitter: f64 = self.core.rng.random_range(0.0..=1.0);
+                let backoff = self.core.config.mac_slot * slots * (1.0 + jitter);
+                let duration = self.core.config.tx_time(frame.size);
+                let done = now + backoff + duration;
+                self.core.radios[u.index()].current = Some(frame);
+                self.core.schedule(done, EventKind::TxComplete(u));
+                return;
+            }
+            self.core.start_tx_if_idle(u);
+            return;
+        }
+
+        {
+            let frame = frame;
+            match frame.kind {
+                PacketKind::Data => self.core.stats.data_tx += 1,
+                PacketKind::Control => self.core.stats.control_tx += 1,
+            }
+            // Hearing a frame also refreshes the receiver's entry for the
+            // sender (data exchange doubles as location exchange, as in the
+            // paper's IMEP adaptation).
+            Core::<P::Packet>::upsert(
+                &mut self.core.one_hop[to.index()],
+                NeighborEntry {
+                    id: u,
+                    pos: pos_u,
+                    heard_at: now,
+                },
+            );
+            Self::with_protocol(&mut self.core, &mut self.protocols, to, |p, ctx| {
+                p.on_packet(ctx, u, frame.packet)
+            });
+        }
+        self.core.start_tx_if_idle(u);
+    }
+
+    fn handle_inject(&mut self, i: usize) {
+        let m = self.workload.messages()[i];
+        let id = self.message_ids[i];
+        let now = self.core.now;
+        self.core.stats.register_message(id, m.src, m.dst, now);
+        let info = MessageInfo {
+            id,
+            dst: m.dst,
+            size: m.size,
+            created: now,
+        };
+        Self::with_protocol(&mut self.core, &mut self.protocols, m.src, |p, ctx| {
+            p.on_message_created(ctx, info)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadMessage;
+
+    /// Forwards every created message straight to the destination if it is
+    /// currently a fresh neighbour; delivers on reception.
+    struct DirectSend;
+
+    #[derive(Debug, Clone)]
+    struct DirectPacket {
+        info: MessageInfo,
+        hops: u32,
+    }
+
+    impl Protocol for DirectSend {
+        type Packet = DirectPacket;
+
+        fn on_message_created(&mut self, ctx: &mut Ctx<'_, Self::Packet>, info: MessageInfo) {
+            // Ground-truth check: if destination in range, send directly.
+            let dst = info.dst;
+            if ctx.true_pos(dst).dist(ctx.my_pos()) <= ctx.config().radio_range {
+                let _ = ctx.send(dst, DirectPacket { info, hops: 1 }, info.size, PacketKind::Data);
+            }
+        }
+
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Self::Packet>, _from: NodeId, pkt: Self::Packet) {
+            if pkt.info.dst == ctx.me() {
+                ctx.deliver(pkt.info.id, pkt.hops);
+            }
+        }
+    }
+
+    fn cfg_retries() -> u64 {
+        SimConfig::paper(100.0, 0).mac_retries as u64
+    }
+
+    fn two_node_config(seed: u64) -> SimConfig {
+        let mut c = SimConfig::paper(250.0, seed).with_duration(50.0);
+        c.n_nodes = 2;
+        c.region = glr_mobility::Region::new(100.0, 100.0); // always in range
+        c
+    }
+
+    #[test]
+    fn direct_delivery_between_close_nodes() {
+        let cfg = two_node_config(3);
+        let wl = Workload::single(NodeId(0), NodeId(1), 5.0, 1000);
+        let stats = Simulation::new(cfg, wl, |_, _| DirectSend).run();
+        assert_eq!(stats.messages_created(), 1);
+        assert_eq!(stats.messages_delivered(), 1);
+        let lat = stats.avg_latency().unwrap();
+        // One frame: ~8.4 ms serialisation plus sub-slot jitter.
+        assert!(lat > 0.0 && lat < 0.1, "latency {lat}");
+        assert_eq!(stats.avg_hops(), Some(1.0));
+        assert_eq!(stats.data_tx, 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wl = Workload::paper_style(50, 50, 1000);
+        let cfg = SimConfig::paper(150.0, 77).with_duration(120.0);
+        let s1 = Simulation::new(cfg.clone(), wl.clone(), |_, _| DirectSend).run();
+        let s2 = Simulation::new(cfg, wl, |_, _| DirectSend).run();
+        assert_eq!(s1.messages_delivered(), s2.messages_delivered());
+        assert_eq!(s1.data_tx, s2.data_tx);
+        assert_eq!(s1.collisions, s2.collisions);
+        assert_eq!(s1.avg_latency(), s2.avg_latency());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let wl = Workload::paper_style(50, 100, 1000);
+        let a = Simulation::new(
+            SimConfig::paper(100.0, 1).with_duration(150.0),
+            wl.clone(),
+            |_, _| DirectSend,
+        )
+        .run();
+        let b = Simulation::new(
+            SimConfig::paper(100.0, 2).with_duration(150.0),
+            wl,
+            |_, _| DirectSend,
+        )
+        .run();
+        // Different topologies/movement: delivered counts almost surely differ.
+        assert_ne!(
+            (a.messages_delivered(), a.data_tx),
+            (b.messages_delivered(), b.data_tx)
+        );
+    }
+
+    #[test]
+    fn neighbor_tables_fill_and_expire() {
+        struct Spy {
+            appeared: usize,
+        }
+        impl Protocol for Spy {
+            type Packet = ();
+            fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+            fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_neighbor_appeared(&mut self, ctx: &mut Ctx<'_, ()>, nbr: NodeId) {
+                self.appeared += 1;
+                // The new neighbour must be in the fresh table.
+                assert!(ctx.neighbors().iter().any(|e| e.id == nbr));
+            }
+        }
+        let cfg = two_node_config(5);
+        let stats = Simulation::new(cfg, Workload::default(), |_, _| Spy { appeared: 0 }).run();
+        // No messages, but beacons flowed.
+        assert!(stats.control_tx > 0);
+    }
+
+    #[test]
+    fn queue_limit_enforced() {
+        struct Flooder;
+        impl Protocol for Flooder {
+            type Packet = u32;
+            fn on_message_created(&mut self, ctx: &mut Ctx<'_, u32>, _info: MessageInfo) {
+                // Stuff far more frames than the queue can hold.
+                let mut sent = 0;
+                let mut dropped = 0;
+                for i in 0..400u32 {
+                    match ctx.send(NodeId(1), i, 1000, PacketKind::Data) {
+                        Ok(()) => sent += 1,
+                        Err(QueueFull) => dropped += 1,
+                    }
+                }
+                // One frame goes straight into the transmitter, 150 queue.
+                assert_eq!(sent, 151);
+                assert_eq!(dropped, 249);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+        }
+        let cfg = two_node_config(9);
+        let wl = Workload::single(NodeId(0), NodeId(1), 1.0, 1000);
+        let stats = Simulation::new(cfg, wl, |_, _| Flooder).run();
+        assert_eq!(stats.queue_drops, 249);
+        assert_eq!(stats.data_tx, 151);
+    }
+
+    #[test]
+    fn out_of_range_frames_are_lost() {
+        struct SendAnyway;
+        impl Protocol for SendAnyway {
+            type Packet = ();
+            fn on_message_created(&mut self, ctx: &mut Ctx<'_, ()>, _info: MessageInfo) {
+                let _ = ctx.send(NodeId(1), (), 1000, PacketKind::Data);
+            }
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, ()>, _: NodeId, _: ()) {
+                // Should never happen.
+                panic!("frame delivered beyond radio range at {}", ctx.now());
+            }
+        }
+        // Tiny range in a huge region: the two nodes are almost surely far
+        // apart at injection time.
+        let mut cfg = SimConfig::paper(1.0, 1234).with_duration(20.0);
+        cfg.n_nodes = 2;
+        cfg.region = glr_mobility::Region::new(100_000.0, 100_000.0);
+        let wl = Workload::single(NodeId(0), NodeId(1), 1.0, 1000);
+        let stats = Simulation::new(cfg, wl, |_, _| SendAnyway).run();
+        // The initial attempt plus every ARQ retry fails out of range.
+        assert_eq!(stats.out_of_range, 1 + cfg_retries());
+        assert_eq!(stats.data_tx, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerProto {
+            log: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            type Packet = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(3.0, 30);
+                ctx.set_timer(1.0, 10);
+                ctx.set_timer(2.0, 20);
+            }
+            fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+            fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+                self.log.push(token);
+                assert!((ctx.now().as_secs() - (token as f64) / 10.0).abs() < 1e-9);
+                if token == 10 && self.log.len() == 1 {
+                    ctx.set_timer(0.5, 15);
+                }
+            }
+        }
+        let cfg = two_node_config(2);
+        // No workload; run the timers only. We can't extract protocol state
+        // after run(), so assertions live inside the hooks; the ordering
+        // check is the token/now consistency assert above plus token 15
+        // firing between 10 and 20 (guarded by set_timer placement).
+        let _ = Simulation::new(cfg, Workload::default(), |_, _| TimerProto { log: Vec::new() })
+            .run();
+    }
+
+    #[test]
+    fn storage_sampling_reaches_stats() {
+        struct Hoarder;
+        impl Protocol for Hoarder {
+            type Packet = ();
+            fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+            fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn storage_used(&self) -> usize {
+                7
+            }
+        }
+        let cfg = two_node_config(4);
+        let stats = Simulation::new(cfg, Workload::default(), |_, _| Hoarder).run();
+        assert_eq!(stats.max_peak_storage(), 7);
+        assert_eq!(stats.avg_peak_storage(), 7.0);
+        assert_eq!(stats.mean_storage_occupancy(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside deployment")]
+    fn workload_bounds_checked() {
+        let cfg = two_node_config(1);
+        let wl = Workload::new(vec![WorkloadMessage {
+            at: SimTime::from_secs(1.0),
+            src: NodeId(0),
+            dst: NodeId(9),
+            size: 10,
+        }]);
+        Simulation::new(cfg, wl, |_, _| DirectSend);
+    }
+}

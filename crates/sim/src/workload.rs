@@ -1,0 +1,194 @@
+//! Traffic workloads: which node sends what to whom, when.
+
+use crate::ids::{MessageId, NodeId};
+use crate::time::SimTime;
+
+/// One message the workload will inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMessage {
+    /// Injection time.
+    pub at: SimTime,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub size: u32,
+}
+
+/// A schedule of end-to-end messages to inject into the network.
+///
+/// # Examples
+///
+/// ```
+/// use glr_sim::Workload;
+///
+/// // The paper's workload: 45 of the 50 nodes each send to the 44 others,
+/// // 1980 messages total, one per second.
+/// let w = Workload::paper_style(50, 1980, 1000);
+/// assert_eq!(w.len(), 1980);
+/// assert!(w.messages().iter().all(|m| m.src != m.dst));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    messages: Vec<WorkloadMessage>,
+}
+
+impl Workload {
+    /// Builds a workload from an explicit message list, sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any message has `src == dst`.
+    pub fn new(mut messages: Vec<WorkloadMessage>) -> Self {
+        for m in &messages {
+            assert!(m.src != m.dst, "message with src == dst ({})", m.src);
+        }
+        messages.sort_by(|a, b| a.at.cmp(&b.at));
+        Workload { messages }
+    }
+
+    /// The paper's traffic pattern: a subset of 45 nodes (or `n_nodes - 5`,
+    /// min 2) act as sources and destinations; each sends to each of the
+    /// other active nodes. `count` messages are injected, one per second
+    /// starting at `t = 1 s`, sources round-robin so traffic is spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes < 3` or `count == 0`.
+    pub fn paper_style(n_nodes: usize, count: usize, size: u32) -> Self {
+        assert!(n_nodes >= 3, "need at least 3 nodes");
+        assert!(count > 0, "need at least one message");
+        let active = (n_nodes.saturating_sub(5)).max(2); // 45 when n = 50
+        let mut messages = Vec::with_capacity(count);
+        for i in 0..count {
+            let s = i % active;
+            let round = i / active;
+            // s's round-th destination among the other active nodes.
+            let d_rank = (s + round) % (active - 1);
+            let d = if d_rank >= s { d_rank + 1 } else { d_rank };
+            messages.push(WorkloadMessage {
+                at: SimTime::from_secs((i + 1) as f64),
+                src: NodeId(s as u32),
+                dst: NodeId(d as u32),
+                size,
+            });
+        }
+        Workload { messages }
+    }
+
+    /// A single message from `src` to `dst` at time `at`.
+    pub fn single(src: NodeId, dst: NodeId, at: f64, size: u32) -> Self {
+        Workload::new(vec![WorkloadMessage {
+            at: SimTime::from_secs(at),
+            src,
+            dst,
+            size,
+        }])
+    }
+
+    /// The scheduled messages, ordered by injection time.
+    pub fn messages(&self) -> &[WorkloadMessage] {
+        &self.messages
+    }
+
+    /// Number of scheduled messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// `true` when no messages are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The [`MessageId`] the simulator will assign to the `i`-th scheduled
+    /// message (sequence numbers count per-source in schedule order).
+    pub fn message_id(&self, i: usize) -> MessageId {
+        let src = self.messages[i].src;
+        let seq = self.messages[..i]
+            .iter()
+            .filter(|m| m.src == src)
+            .count() as u32;
+        MessageId { src, seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_style_counts_and_validity() {
+        let w = Workload::paper_style(50, 1980, 1000);
+        assert_eq!(w.len(), 1980);
+        for m in w.messages() {
+            assert!(m.src.index() < 45);
+            assert!(m.dst.index() < 45);
+            assert_ne!(m.src, m.dst);
+            assert_eq!(m.size, 1000);
+        }
+        // One per second starting at 1s.
+        assert_eq!(w.messages()[0].at, SimTime::from_secs(1.0));
+        assert_eq!(w.messages()[1979].at, SimTime::from_secs(1980.0));
+    }
+
+    #[test]
+    fn paper_style_covers_all_pairs_at_full_count() {
+        use std::collections::HashSet;
+        let w = Workload::paper_style(50, 1980, 1000);
+        let pairs: HashSet<(u32, u32)> = w
+            .messages()
+            .iter()
+            .map(|m| (m.src.0, m.dst.0))
+            .collect();
+        assert_eq!(pairs.len(), 1980, "all 45*44 ordered pairs exactly once");
+    }
+
+    #[test]
+    fn paper_style_small_counts() {
+        let w = Workload::paper_style(50, 10, 500);
+        assert_eq!(w.len(), 10);
+        // Round-robin sources.
+        assert_eq!(w.messages()[0].src, NodeId(0));
+        assert_eq!(w.messages()[1].src, NodeId(1));
+    }
+
+    #[test]
+    fn tiny_network_workload() {
+        let w = Workload::paper_style(3, 4, 100);
+        for m in w.messages() {
+            assert!(m.src.index() < 2);
+            assert_ne!(m.src, m.dst);
+        }
+    }
+
+    #[test]
+    fn message_ids_sequence_per_source() {
+        let w = Workload::paper_style(50, 100, 1000);
+        // Message 0 and message 45 share source 0 with seqs 0 and 1.
+        assert_eq!(w.message_id(0), MessageId { src: NodeId(0), seq: 0 });
+        assert_eq!(w.message_id(45), MessageId { src: NodeId(0), seq: 1 });
+        assert_eq!(w.message_id(1), MessageId { src: NodeId(1), seq: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "src == dst")]
+    fn self_message_rejected() {
+        Workload::new(vec![WorkloadMessage {
+            at: SimTime::ZERO,
+            src: NodeId(1),
+            dst: NodeId(1),
+            size: 10,
+        }]);
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let w = Workload::new(vec![
+            WorkloadMessage { at: SimTime::from_secs(5.0), src: NodeId(0), dst: NodeId(1), size: 1 },
+            WorkloadMessage { at: SimTime::from_secs(2.0), src: NodeId(1), dst: NodeId(0), size: 1 },
+        ]);
+        assert!(w.messages()[0].at < w.messages()[1].at);
+    }
+}

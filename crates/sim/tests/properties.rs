@@ -1,0 +1,94 @@
+//! Property-based tests for the simulator's statistics and workloads.
+
+use glr_sim::{summarize, MessageId, NodeId, RunStats, SimTime, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_mean_within_bounds(xs in prop::collection::vec(-1.0e6..1.0e6f64, 1..40)) {
+        let s = summarize(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+        prop_assert!(s.ci90 >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn summary_constant_samples_have_zero_ci(x in -1.0e3..1.0e3f64, n in 1usize..20) {
+        let xs = vec![x; n];
+        let s = summarize(&xs);
+        prop_assert!((s.mean - x).abs() < 1e-9);
+        prop_assert!(s.ci90.abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_shift_invariance(xs in prop::collection::vec(-1.0e3..1.0e3f64, 2..20), shift in -100.0..100.0f64) {
+        let s1 = summarize(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s2 = summarize(&shifted);
+        prop_assert!((s2.mean - s1.mean - shift).abs() < 1e-6);
+        prop_assert!((s2.ci90 - s1.ci90).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workload_paper_style_always_valid(n in 3usize..60, count in 1usize..500) {
+        let w = Workload::paper_style(n, count, 1000);
+        prop_assert_eq!(w.len(), count);
+        let active = n.saturating_sub(5).max(2);
+        let mut last = SimTime::ZERO;
+        for m in w.messages() {
+            prop_assert!(m.src != m.dst);
+            prop_assert!(m.src.index() < active);
+            prop_assert!(m.dst.index() < active);
+            prop_assert!(m.at >= last);
+            last = m.at;
+        }
+    }
+
+    #[test]
+    fn workload_message_ids_unique(count in 1usize..300) {
+        let w = Workload::paper_style(50, count, 100);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..w.len() {
+            prop_assert!(seen.insert(w.message_id(i)));
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_counts(delivered in 0usize..30, extra in 0usize..30) {
+        let total = delivered + extra;
+        prop_assume!(total > 0);
+        let mut s = RunStats::new(4);
+        for i in 0..total {
+            let id = MessageId { src: NodeId(0), seq: i as u32 };
+            s.register_message(id, NodeId(0), NodeId(1), SimTime::ZERO);
+            if i < delivered {
+                s.record_delivery(id, SimTime::from_secs(1.0 + i as f64), 1 + (i % 5) as u32);
+            }
+        }
+        prop_assert_eq!(s.messages_delivered(), delivered);
+        let want = delivered as f64 / total as f64;
+        prop_assert!((s.delivery_ratio() - want).abs() < 1e-12);
+        if delivered > 0 {
+            prop_assert!(s.avg_latency().unwrap() >= 1.0);
+            prop_assert!(s.avg_hops().unwrap() >= 1.0);
+        } else {
+            prop_assert!(s.avg_latency().is_none());
+        }
+    }
+
+    #[test]
+    fn storage_peaks_dominate_samples(samples in prop::collection::vec((0u32..4, 0usize..100), 1..50)) {
+        let mut s = RunStats::new(4);
+        for &(node, used) in &samples {
+            s.sample_storage(NodeId(node), used);
+        }
+        let max_sample = samples.iter().map(|&(_, u)| u).max().unwrap();
+        prop_assert_eq!(s.max_peak_storage(), max_sample);
+        prop_assert!(s.avg_peak_storage() <= max_sample as f64);
+        prop_assert!(s.mean_storage_occupancy() <= max_sample as f64);
+    }
+}

@@ -1,0 +1,42 @@
+//! A "campus shuttle" DTN: dense clusters bridged by mobility.
+//!
+//! Nodes live in a long thin strip (the paper's 1500 m x 300 m region) at
+//! a 150 m radio range — right at the connectivity threshold where GLR's
+//! Algorithm 1 switches from 3 copies to a single copy. The example runs
+//! the *adaptive* copy policy against both fixed policies to show the
+//! decision actually matters: fixed-3 wastes bandwidth when the network is
+//! mostly connected, fixed-1 struggles when it is not.
+//!
+//! ```text
+//! cargo run --release --example campus_shuttle
+//! ```
+
+use glr::core::{CopyPolicy, Glr, GlrConfig};
+use glr::sim::{SimConfig, Simulation, Workload};
+
+fn run(radius: f64, policy: CopyPolicy, label: &str) {
+    let cfg = SimConfig::paper(radius, 21).with_duration(900.0);
+    let workload = Workload::paper_style(cfg.n_nodes, 300, 1000);
+    let glr_cfg = GlrConfig::paper().with_copy_policy(policy);
+    let copies = policy.copies(cfg.n_nodes, cfg.radio_range, cfg.region);
+    let stats = Simulation::new(cfg, workload, Glr::factory(glr_cfg)).run();
+    println!(
+        "  {label:<24} ({copies} copies) delivery {:>5.1} %  latency {:>6.1} s  data tx {:>7}",
+        stats.delivery_ratio() * 100.0,
+        stats.avg_latency().unwrap_or(f64::NAN),
+        stats.data_tx
+    );
+}
+
+fn main() {
+    for radius in [100.0, 150.0, 200.0] {
+        println!("\nradio range {radius} m:");
+        run(radius, CopyPolicy::Fixed(1), "fixed single copy");
+        run(radius, CopyPolicy::Fixed(3), "fixed three copies");
+        run(radius, CopyPolicy::PAPER, "adaptive (Algorithm 1)");
+    }
+    println!(
+        "\nThe adaptive policy matches the better fixed policy at each density —\n\
+         the copy-count decision of the paper's Algorithm 1 in action."
+    );
+}

@@ -1,0 +1,49 @@
+//! Head-to-head: GLR vs epidemic routing under tightening storage limits —
+//! the scenario behind the paper's Figure 7.
+//!
+//! Both protocols run the identical workload, topology and mobility; only
+//! the per-node buffer shrinks. Epidemic routing keeps a copy of
+//! everything and falls over when buffers bind; GLR's controlled flooding
+//! plus custody transfer barely notices.
+//!
+//! ```text
+//! cargo run --release --example protocol_faceoff
+//! ```
+
+use glr::core::Glr;
+use glr::epidemic::Epidemic;
+use glr::sim::{SimConfig, Simulation, Workload};
+
+fn main() {
+    println!("Protocol face-off at 50 m radio range, 600 messages, 2000 s");
+    println!(
+        "{:>18} | {:>22} | {:>22}",
+        "storage limit", "GLR delivery / drops", "Epidemic delivery / drops"
+    );
+    for limit in [usize::MAX, 200, 100, 50, 25] {
+        let mk = |seed| {
+            let mut cfg = SimConfig::paper(50.0, seed).with_duration(2000.0);
+            if limit != usize::MAX {
+                cfg.storage_limit = Some(limit);
+            }
+            cfg
+        };
+        let wl = Workload::paper_style(50, 600, 1000);
+        let g = Simulation::new(mk(3), wl.clone(), Glr::new).run();
+        let e = Simulation::new(mk(3), wl, Epidemic::new).run();
+        let label = if limit == usize::MAX {
+            "unlimited".to_string()
+        } else {
+            format!("{limit} msgs/node")
+        };
+        println!(
+            "{label:>18} | {:>13.1} % / {:>4} | {:>13.1} % / {:>4}",
+            g.delivery_ratio() * 100.0,
+            g.storage_drops,
+            e.delivery_ratio() * 100.0,
+            e.storage_drops
+        );
+    }
+    println!("\nEpidemic's buffers fill with copies of everything; GLR stores only what");
+    println!("it has custody of, so tight buffers cost it almost nothing (paper Fig. 7).");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run GLR on the paper's Table 1 scenario and print the key
+//! routing metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use glr::core::Glr;
+use glr::sim::{SimConfig, Simulation, Workload};
+
+fn main() {
+    // The paper's setup: 50 nodes, 1500 m x 300 m, random waypoint
+    // 0-20 m/s, 1 Mbps radio. We pick the 100 m radio range (the sparse,
+    // 3-copy regime) and a 600 s horizon to keep the example snappy.
+    let config = SimConfig::paper(100.0, 42).with_duration(600.0);
+
+    // 200 messages: 45 of the nodes send to the other active nodes, one
+    // message per second, 1000-byte payloads (paper workload, scaled).
+    let workload = Workload::paper_style(config.n_nodes, 200, 1000);
+
+    println!(
+        "GLR quickstart: {} nodes, {:.0} m range, {} messages, {:.0} s",
+        config.n_nodes,
+        config.radio_range,
+        workload.len(),
+        config.sim_duration
+    );
+
+    let stats = Simulation::new(config, workload, Glr::new).run();
+
+    println!("delivery ratio   : {:.1} %", stats.delivery_ratio() * 100.0);
+    println!(
+        "mean latency     : {:.1} s",
+        stats.avg_latency().unwrap_or(f64::NAN)
+    );
+    println!(
+        "mean hop count   : {:.1}",
+        stats.avg_hops().unwrap_or(f64::NAN)
+    );
+    println!("peak storage     : {} messages (worst node)", stats.max_peak_storage());
+    println!("data frames      : {}", stats.data_tx);
+    println!("control frames   : {}", stats.control_tx);
+    println!(
+        "link losses      : {} collisions, {} out-of-range",
+        stats.collisions, stats.out_of_range
+    );
+}

@@ -1,0 +1,76 @@
+//! A sparse environmental-sensor field: heavily partitioned network where
+//! store-and-forward is the only way data gets out.
+//!
+//! Forty sensors are scattered over a wide area with a short radio range
+//! (the 50 m regime of the paper — average degree below one). Ten of them
+//! periodically report readings to a sink node. The example contrasts GLR
+//! with epidemic routing on delivery, latency and — the punchline —
+//! storage, which is what a memory-constrained sensor cares about.
+//!
+//! ```text
+//! cargo run --release --example sparse_sensor_field
+//! ```
+
+use glr::core::Glr;
+use glr::epidemic::Epidemic;
+use glr::mobility::Region;
+use glr::sim::{NodeId, SimConfig, Simulation, Workload, WorkloadMessage, SimTime};
+
+fn build_config(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper(50.0, seed).with_duration(2000.0);
+    cfg.n_nodes = 40;
+    cfg.region = Region::new(1200.0, 400.0);
+    cfg
+}
+
+/// Ten sensor nodes each report every 60 s to the sink (node 0).
+fn sensor_workload() -> Workload {
+    let mut msgs = Vec::new();
+    for round in 0..20u32 {
+        for sensor in 1..=10u32 {
+            msgs.push(WorkloadMessage {
+                at: SimTime::from_secs(10.0 + round as f64 * 60.0 + sensor as f64),
+                src: NodeId(sensor),
+                dst: NodeId(0),
+                size: 400,
+            });
+        }
+    }
+    Workload::new(msgs)
+}
+
+fn main() {
+    println!("Sparse sensor field: 40 nodes, 1200x400 m, 50 m radios, sink at node 0");
+    println!("(10 sensors x 20 reporting rounds = 200 readings to collect)\n");
+
+    let glr_stats = Simulation::new(build_config(7), sensor_workload(), Glr::new).run();
+    let epi_stats = Simulation::new(build_config(7), sensor_workload(), Epidemic::new).run();
+
+    println!("{:<24} {:>12} {:>12}", "", "GLR", "Epidemic");
+    println!(
+        "{:<24} {:>11.1}% {:>11.1}%",
+        "readings delivered",
+        glr_stats.delivery_ratio() * 100.0,
+        epi_stats.delivery_ratio() * 100.0
+    );
+    println!(
+        "{:<24} {:>10.1} s {:>10.1} s",
+        "mean latency",
+        glr_stats.avg_latency().unwrap_or(f64::NAN),
+        epi_stats.avg_latency().unwrap_or(f64::NAN)
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "peak storage (msgs)",
+        glr_stats.max_peak_storage(),
+        epi_stats.max_peak_storage()
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "data transmissions", glr_stats.data_tx, epi_stats.data_tx
+    );
+    println!(
+        "\nGLR's controlled flooding keeps per-node buffers a fraction of epidemic's\n\
+         while the custody transfer still ferries readings across partitions."
+    );
+}
