@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the engine's neighbor queries: uniform-grid
+//! spatial index vs the linear-scan reference, at 50 / 500 / 5000 nodes,
+//! plus whole-engine runs under both backends at 500 nodes.
+//!
+//! Node density is held at the paper's (50 nodes per 1500 m × 300 m
+//! strip) by scaling the region with √n, so per-query result sizes stay
+//! comparable and the measured difference is the index, not the answer.
+//!
+//! Regenerate the committed artefact with:
+//!
+//! ```sh
+//! CRITERION_JSON=BENCH_sim.json cargo bench -p glr-bench --bench neighbors
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glr_mobility::{MobilityModel, RandomWaypoint, Region, Trajectory};
+use glr_sim::{IndexBackend, NodeId, SimConfig, SimTime, Simulation, SpatialIndex, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const RANGE: f64 = 100.0;
+const SIZES: [usize; 3] = [50, 500, 5000];
+
+/// Paper-density deployment: area grows linearly with n.
+fn deployment(n: usize, duration: f64, seed: u64) -> (Region, Vec<Trajectory>) {
+    let scale = (n as f64 / 50.0).sqrt();
+    let region = Region::new(1500.0 * scale, 300.0 * scale);
+    let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trajs = model.deployment(region, n, duration, &mut rng);
+    (region, trajs)
+}
+
+fn index(backend: IndexBackend, n: usize, trajs: &[Trajectory]) -> SpatialIndex {
+    let mut idx = SpatialIndex::new(backend, n, 20.0, RANGE);
+    idx.refresh(SimTime::ZERO, trajs);
+    idx
+}
+
+/// One query batch: a radius query around each of 64 probe nodes, at a
+/// time slightly after the grid snapshot (so the drift path is exercised).
+fn query_batch(idx: &SpatialIndex, trajs: &[Trajectory], n: usize) -> usize {
+    let now = SimTime::from_secs(0.5);
+    let mut total = 0;
+    for k in 0..64usize {
+        let u = k * n / 64;
+        let center = trajs[u].position_at(now.as_secs());
+        total += idx
+            .nodes_within(trajs, now, center, RANGE, NodeId(u as u32))
+            .len();
+    }
+    total
+}
+
+fn bench_nodes_within(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nodes_within_64q");
+    for n in SIZES {
+        let (_, trajs) = deployment(n, 10.0, 42);
+        for (name, backend) in [
+            ("linear", IndexBackend::LinearScan),
+            ("grid", IndexBackend::Grid),
+        ] {
+            let idx = index(backend, n, &trajs);
+            g.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| query_batch(black_box(&idx), &trajs, n))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    // Whole-engine comparison at 500 nodes: beacons + contention queries
+    // dominate, so the index backend shows up directly in events/second.
+    struct Idle;
+    impl glr_sim::Protocol for Idle {
+        type Packet = ();
+        fn on_message_created(&mut self, _: &mut glr_sim::Ctx<'_, ()>, _: glr_sim::MessageInfo) {}
+        fn on_packet(&mut self, _: &mut glr_sim::Ctx<'_, ()>, _: glr_sim::NodeId, _: ()) {}
+    }
+    let mut g = c.benchmark_group("engine_500n_10s");
+    for (name, backend) in [
+        ("linear", IndexBackend::LinearScan),
+        ("grid", IndexBackend::Grid),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 500), |b| {
+            b.iter(|| {
+                let scale = (500.0f64 / 50.0).sqrt();
+                let cfg = SimConfig::paper(RANGE, 7)
+                    .with_nodes(500)
+                    .with_region(Region::new(1500.0 * scale, 300.0 * scale))
+                    .with_duration(10.0)
+                    .with_neighbor_index(backend);
+                Simulation::new(black_box(cfg), Workload::default(), |_, _| Idle).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(neighbors, bench_nodes_within, bench_engine_end_to_end);
+criterion_main!(neighbors);

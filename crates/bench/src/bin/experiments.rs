@@ -101,7 +101,13 @@ fn main() {
 fn fig1(effort: Effort) {
     header(
         "Figure 1 — topology, 50 nodes in 1000x1000 m",
-        &["edges", "components", "connected %", "LDTG edges", "LDTG stretch"],
+        &[
+            "edges",
+            "components",
+            "connected %",
+            "LDTG edges",
+            "LDTG stretch",
+        ],
     );
     let _ = std::fs::create_dir_all("artifacts");
     for radius in [250.0, 100.0] {
@@ -204,10 +210,26 @@ fn tab2(effort: Effort) {
     );
     let messages = effort.scale(1980);
     let scenarios: [(&str, LocationMode, CopyPolicy); 4] = [
-        ("1 copy / all know", LocationMode::AllKnow, CopyPolicy::Fixed(1)),
-        ("3 copies / source knows", LocationMode::SourceKnows, CopyPolicy::Fixed(3)),
-        ("1 copy / source knows", LocationMode::SourceKnows, CopyPolicy::Fixed(1)),
-        ("3 copies / none know", LocationMode::NoneKnow, CopyPolicy::Fixed(3)),
+        (
+            "1 copy / all know",
+            LocationMode::AllKnow,
+            CopyPolicy::Fixed(1),
+        ),
+        (
+            "3 copies / source knows",
+            LocationMode::SourceKnows,
+            CopyPolicy::Fixed(3),
+        ),
+        (
+            "1 copy / source knows",
+            LocationMode::SourceKnows,
+            CopyPolicy::Fixed(1),
+        ),
+        (
+            "3 copies / none know",
+            LocationMode::NoneKnow,
+            CopyPolicy::Fixed(3),
+        ),
     ];
     for (label, mode, policy) in scenarios {
         let sim = SimConfig::paper(50.0, 50);
@@ -235,7 +257,12 @@ fn tab2(effort: Effort) {
 fn fig45(effort: Effort, radius: f64, tag: &str) {
     header(
         &format!("{tag} — latency vs messages in transit ({radius} m)"),
-        &["GLR latency (s)", "GLR delivery %", "Epi latency (s)", "Epi delivery %"],
+        &[
+            "GLR latency (s)",
+            "GLR delivery %",
+            "Epi latency (s)",
+            "Epi delivery %",
+        ],
     );
     let mut glr_series = Series {
         label: "GLR".into(),
@@ -279,7 +306,12 @@ fn fig45(effort: Effort, radius: f64, tag: &str) {
 fn fig6(effort: Effort) {
     header(
         "Figure 6 — latency vs radius (1980 msgs)",
-        &["GLR latency (s)", "GLR delivery %", "Epi latency (s)", "Epi delivery %"],
+        &[
+            "GLR latency (s)",
+            "GLR delivery %",
+            "Epi latency (s)",
+            "Epi delivery %",
+        ],
     );
     let messages = effort.scale(1980);
     for radius in [50.0, 100.0, 150.0, 200.0, 250.0] {
@@ -312,7 +344,11 @@ fn tab3(effort: Effort) {
         let glr = GlrConfig::paper().with_custody(custody);
         let mr = run_glr(&sim, &glr, messages, effort.runs);
         row(
-            if custody { "with custody" } else { "without custody" },
+            if custody {
+                "with custody"
+            } else {
+                "without custody"
+            },
             &[fmt_summary(mr.metric(|r| r.delivery_ratio() * 100.0), 1)],
         );
     }
@@ -432,7 +468,12 @@ fn ablation_spanner(effort: Effort) {
 fn ablation_copies(effort: Effort) {
     header(
         "Ablation — copy policy (890 msgs)",
-        &["latency 100 m (s)", "delivery % 100 m", "latency 200 m (s)", "delivery % 200 m"],
+        &[
+            "latency 100 m (s)",
+            "delivery % 100 m",
+            "latency 200 m (s)",
+            "delivery % 200 m",
+        ],
     );
     let messages = effort.scale(890);
     for (label, policy) in [
@@ -464,7 +505,10 @@ fn ablation_perturb(effort: Effort) {
         &["latency (s)", "delivery %", "perturbations"],
     );
     let messages = effort.scale(890);
-    for (label, gossip) in [("shared rendezvous (default)", true), ("message-local guess", false)] {
+    for (label, gossip) in [
+        ("shared rendezvous (default)", true),
+        ("message-local guess", false),
+    ] {
         let sim = SimConfig::paper(100.0, 160);
         let mut glr = GlrConfig::paper();
         glr.perturb_gossip = gossip;

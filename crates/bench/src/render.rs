@@ -35,7 +35,11 @@ pub fn svg_topology(
     width: f64,
     height: f64,
 ) -> String {
-    assert_eq!(points.len(), graph.len(), "points must match graph vertices");
+    assert_eq!(
+        points.len(),
+        graph.len(),
+        "points must match graph vertices"
+    );
     let margin = 20.0;
     let w = width + 2.0 * margin;
     let h = height + 2.0 * margin;
@@ -69,7 +73,11 @@ pub fn svg_topology(
     }
     for (i, &p) in points.iter().enumerate() {
         let (cx, cy) = tx(p);
-        let color = if highlight.contains(&i) { "#cc3333" } else { "#224488" };
+        let color = if highlight.contains(&i) {
+            "#cc3333"
+        } else {
+            "#224488"
+        };
         let r = if highlight.contains(&i) { 5.0 } else { 3.0 };
         let _ = writeln!(
             s,

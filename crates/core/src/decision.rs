@@ -117,7 +117,10 @@ mod tests {
         assert_eq!(p.copies(50, 50.0, Region::PAPER_STRIP), 5);
         assert_eq!(p.copies(50, 250.0, Region::PAPER_STRIP), 5);
         // Zero is clamped to one copy.
-        assert_eq!(CopyPolicy::Fixed(0).copies(50, 50.0, Region::PAPER_STRIP), 1);
+        assert_eq!(
+            CopyPolicy::Fixed(0).copies(50, 50.0, Region::PAPER_STRIP),
+            1
+        );
     }
 
     #[test]

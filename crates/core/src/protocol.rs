@@ -255,8 +255,7 @@ impl Glr {
                     // fires sooner there; repeated escapes back off
                     // exponentially so a hard-to-reach destination does not
                     // turn into a permanent random walk.
-                    let at_stale_spot =
-                        my_pos.dist(msg.dest_est.pos) <= ctx.config().radio_range;
+                    let at_stale_spot = my_pos.dist(msg.dest_est.pos) <= ctx.config().radio_range;
                     let base = if at_stale_spot {
                         self.cfg.stuck_threshold
                     } else {
@@ -475,14 +474,12 @@ impl Protocol for Glr {
     fn on_message_created(&mut self, ctx: &mut Ctx<'_, Self::Packet>, info: MessageInfo) {
         let est = self.initial_dest_estimate(ctx, info.dst);
         let sim = ctx.config();
-        let copies = match self.cfg.location_mode {
-            // Table 2 pins copy counts per scenario via the policy; the
-            // default adaptive policy decides from density (Algorithm 1).
-            _ => self
-                .cfg
-                .copy_policy
-                .copies(sim.n_nodes, sim.radio_range, sim.region),
-        };
+        // Table 2 pins copy counts per scenario via the policy; the
+        // default adaptive policy decides from density (Algorithm 1).
+        let copies = self
+            .cfg
+            .copy_policy
+            .copies(sim.n_nodes, sim.radio_range, sim.region);
         for (tag, tree) in DstdKind::for_copies(copies).into_iter().enumerate() {
             self.seen
                 .insert((info.id, tag as u8), (ctx.me(), 0, ctx.now()));

@@ -166,7 +166,11 @@ mod tests {
     fn keeps_only_radio_one_hop_neighbors() {
         // Node 3 is within Delaunay but beyond radio range; node 2 is a
         // 2-hop entry (not in one_hop).
-        let view = vec![entry(1, 50.0, 0.0), entry(2, 0.0, 50.0), entry(3, 300.0, 300.0)];
+        let view = vec![
+            entry(1, 50.0, 0.0),
+            entry(2, 0.0, 50.0),
+            entry(3, 300.0, 300.0),
+        ];
         let nbrs = spanner_neighbors(
             Point2::ORIGIN,
             &view,
@@ -201,15 +205,36 @@ mod tests {
         );
         let ids: Vec<u32> = nbrs.iter().map(|&(id, _)| id.0).collect();
         assert!(ids.contains(&1));
-        assert!(!ids.contains(&2), "shadowed long edge must be pruned: {ids:?}");
+        assert!(
+            !ids.contains(&2),
+            "shadowed long edge must be pruned: {ids:?}"
+        );
     }
 
     #[test]
     fn modes_agree_on_tiny_symmetric_views() {
-        let view = vec![entry(1, 60.0, 0.0), entry(2, 0.0, 60.0), entry(3, -60.0, 0.0)];
+        let view = vec![
+            entry(1, 60.0, 0.0),
+            entry(2, 0.0, 60.0),
+            entry(3, -60.0, 0.0),
+        ];
         let one_hop: Vec<NodeId> = (1..=3).map(NodeId).collect();
-        let a = spanner_neighbors(Point2::ORIGIN, &view, &one_hop, 100.0, 2, SpannerMode::LocalDelaunay);
-        let b = spanner_neighbors(Point2::ORIGIN, &view, &one_hop, 100.0, 2, SpannerMode::KLocalDelaunay);
+        let a = spanner_neighbors(
+            Point2::ORIGIN,
+            &view,
+            &one_hop,
+            100.0,
+            2,
+            SpannerMode::LocalDelaunay,
+        );
+        let b = spanner_neighbors(
+            Point2::ORIGIN,
+            &view,
+            &one_hop,
+            100.0,
+            2,
+            SpannerMode::KLocalDelaunay,
+        );
         let ids = |v: &[(NodeId, Point2)]| v.iter().map(|&(i, _)| i).collect::<Vec<_>>();
         assert_eq!(ids(&a), ids(&b));
     }
@@ -217,14 +242,24 @@ mod tests {
     #[test]
     fn results_sorted_by_angle() {
         let view = vec![
-            entry(1, 50.0, 1.0),   // ~0 rad
-            entry(2, 0.0, 50.0),   // pi/2
-            entry(3, -50.0, 1.0),  // ~pi
-            entry(4, 0.0, -50.0),  // -pi/2
+            entry(1, 50.0, 1.0),  // ~0 rad
+            entry(2, 0.0, 50.0),  // pi/2
+            entry(3, -50.0, 1.0), // ~pi
+            entry(4, 0.0, -50.0), // -pi/2
         ];
         let one_hop: Vec<NodeId> = (1..=4).map(NodeId).collect();
-        let nbrs = spanner_neighbors(Point2::ORIGIN, &view, &one_hop, 100.0, 2, SpannerMode::LocalDelaunay);
-        let angles: Vec<f64> = nbrs.iter().map(|&(_, p)| Point2::ORIGIN.angle_to(p)).collect();
+        let nbrs = spanner_neighbors(
+            Point2::ORIGIN,
+            &view,
+            &one_hop,
+            100.0,
+            2,
+            SpannerMode::LocalDelaunay,
+        );
+        let angles: Vec<f64> = nbrs
+            .iter()
+            .map(|&(_, p)| Point2::ORIGIN.angle_to(p))
+            .collect();
         for w in angles.windows(2) {
             assert!(w[0] <= w[1], "not angle-sorted: {angles:?}");
         }
@@ -232,8 +267,15 @@ mod tests {
 
     #[test]
     fn empty_view_no_neighbors() {
-        assert!(spanner_neighbors(Point2::ORIGIN, &[], &[], 100.0, 2, SpannerMode::LocalDelaunay)
-            .is_empty());
+        assert!(spanner_neighbors(
+            Point2::ORIGIN,
+            &[],
+            &[],
+            100.0,
+            2,
+            SpannerMode::LocalDelaunay
+        )
+        .is_empty());
     }
 
     #[test]

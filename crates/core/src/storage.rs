@@ -54,7 +54,12 @@ pub struct StoredMessage {
 
 impl StoredMessage {
     /// A fresh copy at the source.
-    pub fn new(info: MessageInfo, tree: DstdKind, copy_tag: u8, dest_est: LocationEstimate) -> Self {
+    pub fn new(
+        info: MessageInfo,
+        tree: DstdKind,
+        copy_tag: u8,
+        dest_est: LocationEstimate,
+    ) -> Self {
         StoredMessage {
             info,
             tree,
@@ -382,10 +387,16 @@ mod tests {
         s.to_cache(msg(1, 0), NodeId(1), SimTime::from_secs(99.0));
         let fresh = LocationEstimate::new(Point2::new(5.0, 5.0), SimTime::from_secs(10.0));
         s.refresh_destination(NodeId(9), fresh);
-        assert_eq!(s.iter_store().next().unwrap().dest_est.pos, Point2::new(5.0, 5.0));
+        assert_eq!(
+            s.iter_store().next().unwrap().dest_est.pos,
+            Point2::new(5.0, 5.0)
+        );
         // A staler estimate must not override.
         let stale = LocationEstimate::new(Point2::new(7.0, 7.0), SimTime::from_secs(1.0));
         s.refresh_destination(NodeId(9), stale);
-        assert_eq!(s.iter_store().next().unwrap().dest_est.pos, Point2::new(5.0, 5.0));
+        assert_eq!(
+            s.iter_store().next().unwrap().dest_est.pos,
+            Point2::new(5.0, 5.0)
+        );
     }
 }

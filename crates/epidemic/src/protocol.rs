@@ -166,7 +166,11 @@ mod tests {
         let wl = Workload::paper_style(10, 5, 1000);
         let stats = Simulation::new(dense_config(1), wl, Epidemic::new).run();
         assert_eq!(stats.messages_created(), 5);
-        assert_eq!(stats.messages_delivered(), 5, "dense epidemic must deliver all");
+        assert_eq!(
+            stats.messages_delivered(),
+            5,
+            "dense epidemic must deliver all"
+        );
         assert!(stats.avg_latency().unwrap() < 10.0);
     }
 
@@ -178,7 +182,10 @@ mod tests {
         // essentially every node, and data transmissions well exceed the
         // single end-to-end delivery.
         assert_eq!(stats.messages_delivered(), 1);
-        assert!(stats.data_tx >= 5, "flooding should copy the message widely");
+        assert!(
+            stats.data_tx >= 5,
+            "flooding should copy the message widely"
+        );
         assert_eq!(stats.max_peak_storage(), 1);
     }
 

@@ -131,7 +131,11 @@ impl Triangulation {
                     let shared = bad.iter().any(|&tj| {
                         tj != ti && {
                             let u = tris[tj];
-                            let es = [ordered(u[0], u[1]), ordered(u[1], u[2]), ordered(u[2], u[0])];
+                            let es = [
+                                ordered(u[0], u[1]),
+                                ordered(u[1], u[2]),
+                                ordered(u[2], u[0]),
+                            ];
                             es.contains(&ordered(e.0, e.1))
                         }
                     });

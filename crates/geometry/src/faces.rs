@@ -53,7 +53,11 @@ impl PlanarEmbedding {
     ///
     /// Panics if `positions.len() != g.len()`.
     pub fn new(g: &Graph, positions: &[Point2]) -> Self {
-        assert_eq!(positions.len(), g.len(), "positions must match vertex count");
+        assert_eq!(
+            positions.len(),
+            g.len(),
+            "positions must match vertex count"
+        );
         let sorted_adj = (0..g.len())
             .map(|u| {
                 let mut nbrs: Vec<usize> = g.neighbors(u).to_vec();
@@ -130,13 +134,11 @@ impl PlanarEmbedding {
         }
         let base = positions[u].angle_to(toward);
         // Smallest positive angular offset ccw from the ray.
-        nbrs.iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let oa = angular_offset(base, positions[u].angle_to(positions[a]));
-                let ob = angular_offset(base, positions[u].angle_to(positions[b]));
-                oa.partial_cmp(&ob).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        nbrs.iter().copied().min_by(|&a, &b| {
+            let oa = angular_offset(base, positions[u].angle_to(positions[a]));
+            let ob = angular_offset(base, positions[u].angle_to(positions[b]));
+            oa.partial_cmp(&ob).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Traces the face containing the directed edge `(u, v)`.
@@ -392,9 +394,7 @@ pub fn greedy_face_route(
                     if steps > max_steps {
                         return None;
                     }
-                    let Some(v) = walk.step(&emb, positions, tp) else {
-                        return None;
-                    };
+                    let v = walk.step(&emb, positions, tp)?;
                     path.push(v);
                     cur = v;
                     steps += 1;
@@ -476,7 +476,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point2::new(next() * w, next() * h)).collect()
+        (0..n)
+            .map(|_| Point2::new(next() * w, next() * h))
+            .collect()
     }
 
     fn star_embedding() -> (Graph, Vec<Point2>) {
@@ -582,7 +584,12 @@ mod tests {
 
     #[test]
     fn face_route_disconnected_returns_none() {
-        let pos = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(5.0, 0.0), Point2::new(6.0, 0.0)];
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(6.0, 0.0),
+        ];
         let mut g = Graph::new(4);
         g.add_edge(0, 1);
         g.add_edge(2, 3);

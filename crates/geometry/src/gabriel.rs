@@ -56,16 +56,12 @@ pub fn relative_neighborhood_graph(points: &[Point2], r: f64) -> Graph {
     let mut g = Graph::new(points.len());
     for (u, v) in udg.edges() {
         let d_uv = points[u].dist_sq(points[v]);
-        let blocked = udg
-            .neighbors(u)
-            .iter()
-            .chain(udg.neighbors(v))
-            .any(|&w| {
-                w != u
-                    && w != v
-                    && points[w].dist_sq(points[u]) < d_uv
-                    && points[w].dist_sq(points[v]) < d_uv
-            });
+        let blocked = udg.neighbors(u).iter().chain(udg.neighbors(v)).any(|&w| {
+            w != u
+                && w != v
+                && points[w].dist_sq(points[u]) < d_uv
+                && points[w].dist_sq(points[v]) < d_uv
+        });
         if !blocked {
             g.add_edge(u, v);
         }

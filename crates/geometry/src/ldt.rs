@@ -186,7 +186,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point2::new(next() * w, next() * h)).collect()
+        (0..n)
+            .map(|_| Point2::new(next() * w, next() * h))
+            .collect()
     }
 
     fn assert_planar(points: &[Point2], g: &Graph) {

@@ -122,7 +122,10 @@ impl Point2 {
     /// `t` is not clamped; values outside `[0, 1]` extrapolate.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Angle of the vector `other - self` in radians, in `(-pi, pi]`.

@@ -552,7 +552,10 @@ mod tests {
         let rem = Dd::two_sum(p.hi, -(1.0e16 + 2.0e8));
         assert_eq!(rem.hi + p.lo, 1.0);
         // Sign detection honours the low word on cancellation.
-        let tiny = Dd { hi: 0.0, lo: -1e-300 };
+        let tiny = Dd {
+            hi: 0.0,
+            lo: -1e-300,
+        };
         assert_eq!(tiny.sign(), Sign::Negative);
         assert_eq!(Dd::ZERO.sign(), Sign::Zero);
         assert_eq!(Dd::from_f64(2.0).sign(), Sign::Positive);

@@ -48,7 +48,11 @@ pub struct StretchReport {
 /// assert!((r.max_stretch - 2.0_f64.sqrt()).abs() < 1e-9);
 /// ```
 pub fn euclidean_stretch(g: &Graph, positions: &[Point2]) -> StretchReport {
-    assert_eq!(positions.len(), g.len(), "positions must match vertex count");
+    assert_eq!(
+        positions.len(),
+        g.len(),
+        "positions must match vertex count"
+    );
     let n = g.len();
     let mut max_s: f64 = 1.0;
     let mut sum = 0.0;
@@ -91,7 +95,11 @@ pub fn euclidean_stretch(g: &Graph, positions: &[Point2]) -> StretchReport {
 /// not match.
 pub fn relative_stretch(g: &Graph, reference: &Graph, positions: &[Point2]) -> StretchReport {
     assert_eq!(g.len(), reference.len(), "vertex counts must match");
-    assert_eq!(positions.len(), g.len(), "positions must match vertex count");
+    assert_eq!(
+        positions.len(),
+        g.len(),
+        "positions must match vertex count"
+    );
     let n = g.len();
     let mut max_s: f64 = 1.0;
     let mut sum = 0.0;
@@ -133,7 +141,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point2::new(next() * w, next() * h)).collect()
+        (0..n)
+            .map(|_| Point2::new(next() * w, next() * h))
+            .collect()
     }
 
     #[test]
@@ -177,7 +187,10 @@ mod tests {
             let udg = unit_disk_graph(&pts, 280.0);
             let ldtg = k_ldtg(&pts, 280.0, 2);
             let r = relative_stretch(&ldtg, &udg, &pts);
-            assert!(r.max_stretch.is_finite(), "spanner must preserve connectivity");
+            assert!(
+                r.max_stretch.is_finite(),
+                "spanner must preserve connectivity"
+            );
             assert!(
                 r.max_stretch < 4.0,
                 "seed {seed}: LDTG/UDG stretch {}",
@@ -188,7 +201,11 @@ mod tests {
 
     #[test]
     fn disconnected_pairs_are_skipped() {
-        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(10.0, 0.0)];
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ];
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
         let r = euclidean_stretch(&g, &pts);

@@ -234,7 +234,12 @@ mod tests {
         let me = Point2::new(0.0, 0.0);
         let dst = Point2::new(10.0, 0.0);
         let nbrs = [(7, Point2::new(4.0, 1.0))];
-        for kind in [DstdKind::Max, DstdKind::Min, DstdKind::Mid(0), DstdKind::Mid(3)] {
+        for kind in [
+            DstdKind::Max,
+            DstdKind::Min,
+            DstdKind::Mid(0),
+            DstdKind::Mid(3),
+        ] {
             assert_eq!(dstd_next_hop(me, dst, &nbrs, kind), Some(7));
         }
     }
@@ -331,7 +336,16 @@ mod tests {
             Point2::new(90.0, 0.0),   // 5 = T
         ];
         let mut g = Graph::new(6);
-        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5), (1, 2), (3, 4)] {
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (3, 5),
+            (4, 5),
+            (1, 2),
+            (3, 4),
+        ] {
             g.add_edge(u, v);
         }
         let max_p = extract_dstd_path(&g, &pts, 0, 5, DstdKind::Max, 50);

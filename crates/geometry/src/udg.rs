@@ -117,7 +117,10 @@ pub fn connectivity_radius_for_region(n: usize, s: f64, width: f64, height: f64)
 /// ```
 pub fn connectivity_probability(n: usize, r: f64, width: f64, height: f64) -> f64 {
     assert!(n >= 2, "need at least two nodes");
-    assert!(r > 0.0 && width > 0.0 && height > 0.0, "dimensions must be positive");
+    assert!(
+        r > 0.0 && width > 0.0 && height > 0.0,
+        "dimensions must be positive"
+    );
     let rn = r / (width * height).sqrt();
     let ln_s = n as f64 * std::f64::consts::PI * rn * rn - (n as f64).ln();
     if ln_s <= 0.0 {
@@ -142,9 +145,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut state = 12345u64;
         for _ in 0..120 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 20) % 1000) as f64;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((state >> 20) % 1000) as f64;
             pts.push(Point2::new(x, y));
         }
@@ -152,11 +159,7 @@ mod tests {
         let g = unit_disk_graph(&pts, r);
         for u in 0..pts.len() {
             for v in (u + 1)..pts.len() {
-                assert_eq!(
-                    g.has_edge(u, v),
-                    pts[u].dist(pts[v]) <= r,
-                    "edge ({u},{v})"
-                );
+                assert_eq!(g.has_edge(u, v), pts[u].dist(pts[v]) <= r, "edge ({u},{v})");
             }
         }
     }
@@ -208,9 +211,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut state = 777u64;
         for _ in 0..50 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let x = ((state >> 17) % 1000) as f64;
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let y = ((state >> 17) % 1000) as f64;
             pts.push(Point2::new(x, y));
         }

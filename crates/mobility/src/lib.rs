@@ -28,6 +28,6 @@ mod models;
 mod region;
 mod trajectory;
 
-pub use models::{MobilityModel, RandomWalk, RandomWaypoint, Stationary};
+pub use models::{MobilityModel, RandomWalk, RandomWaypoint, Stationary, SPEED_FLOOR};
 pub use region::Region;
 pub use trajectory::Trajectory;

@@ -10,12 +10,7 @@ use rand::Rng;
 /// [`Trajectory`] covering `[0, duration]`.
 pub trait MobilityModel {
     /// Generates one node's trajectory starting at `start`.
-    fn trajectory<R: Rng + ?Sized>(
-        &self,
-        start: Point2,
-        duration: f64,
-        rng: &mut R,
-    ) -> Trajectory;
+    fn trajectory<R: Rng + ?Sized>(&self, start: Point2, duration: f64, rng: &mut R) -> Trajectory;
 
     /// Generates trajectories for a whole deployment: nodes start uniformly
     /// at random inside `region`.
@@ -63,8 +58,12 @@ pub struct RandomWaypoint {
     pause: f64,
 }
 
-/// Minimum effective speed (m/s); sampled speeds below this are clamped.
-const SPEED_FLOOR: f64 = 0.01;
+/// Minimum effective speed (m/s); sampled speeds below this are clamped
+/// (the classic random-waypoint freeze-at-zero pathology). Public because
+/// it is also the floor of any *speed upper bound* derived from a
+/// configuration — e.g. the simulator's spatial index drift bound must
+/// use `max(config_speed_max, SPEED_FLOOR)` to stay exact.
+pub const SPEED_FLOOR: f64 = 0.01;
 
 impl RandomWaypoint {
     /// Creates a random-waypoint model.
@@ -98,12 +97,7 @@ impl RandomWaypoint {
 }
 
 impl MobilityModel for RandomWaypoint {
-    fn trajectory<R: Rng + ?Sized>(
-        &self,
-        start: Point2,
-        duration: f64,
-        rng: &mut R,
-    ) -> Trajectory {
+    fn trajectory<R: Rng + ?Sized>(&self, start: Point2, duration: f64, rng: &mut R) -> Trajectory {
         let mut keyframes = vec![(0.0, self.region.clamp(start))];
         let mut t = 0.0;
         let mut pos = self.region.clamp(start);
@@ -160,12 +154,7 @@ impl RandomWalk {
 }
 
 impl MobilityModel for RandomWalk {
-    fn trajectory<R: Rng + ?Sized>(
-        &self,
-        start: Point2,
-        duration: f64,
-        rng: &mut R,
-    ) -> Trajectory {
+    fn trajectory<R: Rng + ?Sized>(&self, start: Point2, duration: f64, rng: &mut R) -> Trajectory {
         let mut keyframes = vec![(0.0, self.region.clamp(start))];
         let mut t = 0.0;
         let mut pos = self.region.clamp(start);
@@ -174,8 +163,7 @@ impl MobilityModel for RandomWalk {
             let speed = rng
                 .random_range(self.speed_min..=self.speed_max)
                 .max(SPEED_FLOOR);
-            let mut target = pos
-                + Point2::new(angle.cos(), angle.sin()) * (speed * self.step_time);
+            let mut target = pos + Point2::new(angle.cos(), angle.sin()) * (speed * self.step_time);
             // Reflect off boundaries.
             target = reflect(target, self.region);
             t += self.step_time;
@@ -244,16 +232,8 @@ mod tests {
     #[test]
     fn rwp_deterministic_per_seed() {
         let model = RandomWaypoint::paper(Region::PAPER_SQUARE);
-        let t1 = model.trajectory(
-            Point2::new(5.0, 5.0),
-            200.0,
-            &mut StdRng::seed_from_u64(9),
-        );
-        let t2 = model.trajectory(
-            Point2::new(5.0, 5.0),
-            200.0,
-            &mut StdRng::seed_from_u64(9),
-        );
+        let t1 = model.trajectory(Point2::new(5.0, 5.0), 200.0, &mut StdRng::seed_from_u64(9));
+        let t2 = model.trajectory(Point2::new(5.0, 5.0), 200.0, &mut StdRng::seed_from_u64(9));
         assert_eq!(t1, t2);
     }
 
@@ -266,7 +246,7 @@ mod tests {
             let s = traj.speed_at(i as f64 * 5.0);
             if s > 0.0 {
                 assert!(
-                    s >= 5.0 - 1e-9 && s <= 10.0 + 1e-9,
+                    (5.0 - 1e-9..=10.0 + 1e-9).contains(&s),
                     "speed {s} out of range"
                 );
             }
@@ -319,9 +299,18 @@ mod tests {
     #[test]
     fn reflect_bounces_back() {
         let region = Region::new(100.0, 100.0);
-        assert_eq!(reflect(Point2::new(-10.0, 50.0), region), Point2::new(10.0, 50.0));
-        assert_eq!(reflect(Point2::new(110.0, 50.0), region), Point2::new(90.0, 50.0));
-        assert_eq!(reflect(Point2::new(50.0, -20.0), region), Point2::new(50.0, 20.0));
+        assert_eq!(
+            reflect(Point2::new(-10.0, 50.0), region),
+            Point2::new(10.0, 50.0)
+        );
+        assert_eq!(
+            reflect(Point2::new(110.0, 50.0), region),
+            Point2::new(90.0, 50.0)
+        );
+        assert_eq!(
+            reflect(Point2::new(50.0, -20.0), region),
+            Point2::new(50.0, 20.0)
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Trajectory {
     /// Panics if `keyframes` is empty, times are not strictly increasing,
     /// or any coordinate is non-finite.
     pub fn from_keyframes(keyframes: Vec<(f64, Point2)>) -> Self {
-        assert!(!keyframes.is_empty(), "a trajectory needs at least one keyframe");
+        assert!(
+            !keyframes.is_empty(),
+            "a trajectory needs at least one keyframe"
+        );
         for w in keyframes.windows(2) {
             assert!(
                 w[1].0 > w[0].0,
@@ -119,10 +122,7 @@ impl Trajectory {
 
     /// Total path length travelled.
     pub fn path_length(&self) -> f64 {
-        self.keyframes
-            .windows(2)
-            .map(|w| w[0].1.dist(w[1].1))
-            .sum()
+        self.keyframes.windows(2).map(|w| w[0].1.dist(w[1].1)).sum()
     }
 }
 
@@ -186,10 +186,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_keyframes_panic() {
-        Trajectory::from_keyframes(vec![
-            (1.0, Point2::ORIGIN),
-            (1.0, Point2::new(1.0, 0.0)),
-        ]);
+        Trajectory::from_keyframes(vec![(1.0, Point2::ORIGIN), (1.0, Point2::new(1.0, 0.0))]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::space::IndexBackend;
 use glr_mobility::Region;
 
 /// Full configuration of a simulation run.
@@ -57,6 +58,12 @@ pub struct SimConfig {
     pub storage_limit: Option<usize>,
     /// Interval between storage-occupancy samples for the statistics.
     pub stats_interval: f64,
+    /// Spatial index backing the engine's proximity queries. Both
+    /// backends return identical results (and identical [`crate::RunStats`]
+    /// for a fixed seed); [`IndexBackend::Grid`] is asymptotically faster
+    /// and the default, [`IndexBackend::LinearScan`] is the reference
+    /// implementation.
+    pub neighbor_index: IndexBackend,
     /// RNG seed; runs with equal configuration and seed are identical.
     pub seed: u64,
 }
@@ -81,6 +88,7 @@ impl SimConfig {
             mac_retries: 6,
             storage_limit: None,
             stats_interval: 1.0,
+            neighbor_index: IndexBackend::Grid,
             seed,
         }
     }
@@ -117,6 +125,12 @@ impl SimConfig {
         self
     }
 
+    /// Returns the config with a different spatial-index backend.
+    pub fn with_neighbor_index(mut self, backend: IndexBackend) -> Self {
+        self.neighbor_index = backend;
+        self
+    }
+
     /// Transmission time of a frame of `size` payload bytes, in seconds
     /// (serialisation plus fixed MAC overhead).
     pub fn tx_time(&self, size: u32) -> f64 {
@@ -143,10 +157,19 @@ impl SimConfig {
             "invalid speed range"
         );
         assert!(self.pause_time >= 0.0, "pause must be non-negative");
-        assert!(self.beacon_interval > 0.0, "beacon interval must be positive");
-        assert!(self.neighbor_ttl >= self.beacon_interval, "ttl must cover a beacon interval");
+        assert!(
+            self.beacon_interval > 0.0,
+            "beacon interval must be positive"
+        );
+        assert!(
+            self.neighbor_ttl >= self.beacon_interval,
+            "ttl must cover a beacon interval"
+        );
         assert!(self.mac_slot >= 0.0 && self.mac_overhead_bits >= 0.0);
-        assert!((0.0..1.0).contains(&self.collision_prob), "collision prob in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.collision_prob),
+            "collision prob in [0,1)"
+        );
         assert!(self.stats_interval > 0.0, "stats interval must be positive");
     }
 }

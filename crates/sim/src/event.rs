@@ -1,0 +1,98 @@
+//! The discrete-event queue: event kinds and a deterministic
+//! time-then-FIFO priority queue.
+//!
+//! Events at equal timestamps pop in scheduling order (a monotone
+//! sequence number breaks ties), which is what makes a run a pure
+//! function of its inputs: no ordering is ever left to the heap's whim.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Node broadcasts its IMEP-style neighbour-sensing beacon.
+    Beacon(NodeId),
+    /// The frame in flight at this node's radio finishes transmitting.
+    TxComplete(NodeId),
+    /// A protocol timer set through `Ctx::set_timer` fires.
+    Timer(NodeId, u64),
+    /// The workload injects message `i`.
+    Inject(u32),
+    /// Periodic storage-occupancy sampling.
+    StatsSample,
+}
+
+/// An event with its due time and tie-breaking sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QEvent {
+    pub(crate) at: SimTime,
+    seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl Ord for QEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for QEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulation's future: a min-heap of [`QEvent`]s.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<QEvent>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(QEvent {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Due time of the next event without removing it.
+    pub(crate) fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Removes and returns the next event.
+    pub(crate) fn pop(&mut self) -> Option<QEvent> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2.0), EventKind::StatsSample);
+        q.schedule(SimTime::from_secs(1.0), EventKind::Beacon(NodeId(1)));
+        q.schedule(SimTime::from_secs(1.0), EventKind::Beacon(NodeId(2)));
+        assert_eq!(q.next_at(), Some(SimTime::from_secs(1.0)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Beacon(NodeId(1)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Beacon(NodeId(2)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::StatsSample);
+        assert!(q.pop().is_none());
+        assert_eq!(q.next_at(), None);
+    }
+}

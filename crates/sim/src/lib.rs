@@ -18,9 +18,26 @@
 //!   peaks (Tables 4/5) and enforces nothing: buffer policy is the
 //!   protocol's business, exactly as in the paper.
 //!
-//! Protocols implement [`Protocol`]; [`Simulation`] runs one seed;
-//! [`MultiRun`] repeats an experiment across seeds and reports
-//! `mean ± 90 % CI` like every table in the paper.
+//! # Architecture
+//!
+//! The engine is layered; each layer is its own module:
+//!
+//! | module | responsibility |
+//! |---|---|
+//! | [`mod@sim`] | event sequencing: pops events, advances the clock, dispatches |
+//! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait ([`ContentionMedium`] default) |
+//! | [`mod@neighbors`] | IMEP beacon sensing, 1-/2-hop tables with TTL expiry |
+//! | [`mod@space`] | proximity queries: grid-indexed ([`SpatialIndex`]) with an exact linear-scan reference backend |
+//! | [`mod@world`] | shared state: clock, trajectories, RNG, statistics |
+//! | `event` (private) | deterministic time-then-FIFO event queue |
+//!
+//! Protocols implement [`Protocol`]; [`Simulation`] runs one seed (or
+//! [`Simulation::with_medium`] for an alternate PHY); [`MultiRun`]
+//! repeats an experiment across seeds — in parallel, one thread per run —
+//! and reports `mean ± 90 % CI` like every table in the paper. Runs are
+//! pure functions of `(config, workload, protocol, seed)`: the same seed
+//! gives bit-identical [`RunStats`] under either spatial-index backend,
+//! any thread count, and any conforming medium.
 //!
 //! # Example
 //!
@@ -57,17 +74,26 @@
 #![warn(missing_docs)]
 
 mod config;
+mod event;
 mod ids;
+pub mod medium;
+pub mod neighbors;
 mod runner;
-mod sim;
+pub mod sim;
+pub mod space;
 mod stats;
 mod time;
 mod workload;
+pub mod world;
 
 pub use config::SimConfig;
 pub use ids::{MessageId, MessageInfo, NodeId};
+pub use medium::{ContentionMedium, Frame, Medium, PacketKind, QueueFull, TxResolution};
+pub use neighbors::NeighborEntry;
 pub use runner::MultiRun;
-pub use sim::{Ctx, NeighborEntry, PacketKind, Protocol, QueueFull, Simulation};
+pub use sim::{Ctx, Protocol, Simulation};
+pub use space::{IndexBackend, SpatialIndex};
 pub use stats::{summarize, MessageRecord, RunStats, Summary};
 pub use time::SimTime;
 pub use workload::{Workload, WorkloadMessage};
+pub use world::World;

@@ -1,0 +1,292 @@
+//! The radio/PHY layer: transmit queues, serialisation, carrier-sense
+//! backoff, ARQ and the collision model — behind the pluggable
+//! [`Medium`] trait.
+//!
+//! The engine is medium-agnostic: it hands every link-layer decision to a
+//! [`Medium`] implementation and only schedules the completion times the
+//! medium returns. [`ContentionMedium`] is the default and reproduces the
+//! paper's NS-2-calibrated 802.11 model; alternate PHYs (ideal lossless
+//! links, probabilistic shadowing, duty-cycled radios, …) drop in by
+//! implementing the trait and passing the instance to
+//! [`crate::Simulation::with_medium`] — no engine changes required.
+//!
+//! Determinism contract: a medium must draw all randomness from
+//! [`World::rng`] and must not depend on anything outside the `World`
+//! handed to it, so that a run stays a pure function of
+//! `(config, workload, protocol, seed)`.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use crate::world::World;
+use glr_geometry::Point2;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Whether a frame carries user data or protocol control information
+/// (acknowledgements, summary vectors, …). Only affects accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// End-to-end message payload.
+    Data,
+    /// Protocol control traffic.
+    Control,
+}
+
+/// Error returned by [`crate::Ctx::send`] when the link-layer queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link-layer transmit queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A link-layer frame: one over-the-air transmission attempt's worth of
+/// protocol packet plus addressing and accounting metadata.
+#[derive(Debug, Clone)]
+pub struct Frame<Pk> {
+    /// Destination node (unicast).
+    pub to: NodeId,
+    /// The protocol's packet payload.
+    pub packet: Pk,
+    /// Payload size in bytes (drives serialisation time).
+    pub size: u32,
+    /// Data or control, for accounting.
+    pub kind: PacketKind,
+    /// Transmission attempts already failed for this frame.
+    pub retries: u32,
+}
+
+/// Outcome of a transmission that just finished serialising, as resolved
+/// by the medium.
+#[derive(Debug)]
+pub enum TxResolution<Pk> {
+    /// The frame arrived: the engine delivers `packet` to `to` and then
+    /// asks the medium to start the sender's next queued frame. All
+    /// data/control accounting is the medium's job, done before
+    /// returning this.
+    Delivered {
+        /// Receiving node.
+        to: NodeId,
+        /// The payload to hand to the receiver's protocol.
+        packet: Pk,
+        /// Where the sender was at delivery time (receivers learn the
+        /// sender's position from any overheard frame, as in the paper's
+        /// IMEP adaptation).
+        from_pos: Point2,
+    },
+    /// The frame is definitively lost (retry budget exhausted or receiver
+    /// out of range); the engine starts the sender's next queued frame.
+    Lost,
+    /// The medium is retrying the frame itself (802.11-style ARQ): the
+    /// radio stays busy and the engine schedules another completion at
+    /// `at`.
+    Retrying {
+        /// When the retry's serialisation finishes.
+        at: SimTime,
+    },
+}
+
+/// A radio/PHY model: owns the per-node transmit state and decides how
+/// long transmissions take and whether they arrive.
+///
+/// Object-safe: the engine stores `Box<dyn Medium<Pk>>`, so media can be
+/// swapped at construction without touching the engine's type.
+pub trait Medium<Pk> {
+    /// Queues `frame` for transmission from `from`.
+    ///
+    /// Returns `Ok(Some(at))` when the radio was idle and started
+    /// transmitting immediately — the engine schedules the completion at
+    /// `at`. Returns `Ok(None)` when the frame was queued behind an
+    /// in-flight transmission.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the transmit queue is at capacity; the frame is
+    /// dropped.
+    fn enqueue(
+        &mut self,
+        world: &mut World,
+        from: NodeId,
+        frame: Frame<Pk>,
+    ) -> Result<Option<SimTime>, QueueFull>;
+
+    /// Resolves the transmission in flight at `from`, whose serialisation
+    /// just completed.
+    fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk>;
+
+    /// Starts the next queued frame at `from` if the radio is idle;
+    /// returns the new transmission's completion time.
+    fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime>;
+
+    /// Number of frames waiting (not in flight) in `node`'s queue.
+    fn queue_len(&self, node: NodeId) -> usize;
+}
+
+/// Why a frame failed at the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameLoss {
+    Collision,
+    OutOfRange,
+}
+
+#[derive(Debug, Clone)]
+struct Radio<Pk> {
+    queue: VecDeque<Frame<Pk>>,
+    current: Option<Frame<Pk>>,
+}
+
+impl<Pk> Default for Radio<Pk> {
+    fn default() -> Self {
+        Radio {
+            queue: VecDeque::new(),
+            current: None,
+        }
+    }
+}
+
+/// The default medium: the paper's contention model.
+///
+/// * unit-disk reception at `config.radio_range`;
+/// * per-node FIFO transmit queues of `config.queue_limit` frames with
+///   drop-tail overflow (NS-2's `IFq`);
+/// * control frames jump ahead of queued data — the MAC-level priority
+///   short frames enjoy in practice; without it, custody
+///   acknowledgements would sit behind seconds of queued data and every
+///   cache timeout would fork a duplicate copy;
+/// * carrier-sense access delay proportional to busy transmitters within
+///   twice the radio range, plus one slot of random jitter;
+/// * serialisation at `config.data_rate_bps` plus fixed MAC overhead;
+/// * probabilistic collision loss growing with the number of interferers
+///   near the receiver (hidden terminals included), retried with
+///   exponential backoff up to `config.mac_retries` times while the
+///   radio stays busy (head-of-line blocking — the paper's contention
+///   mechanism).
+#[derive(Debug)]
+pub struct ContentionMedium<Pk> {
+    radios: Vec<Radio<Pk>>,
+}
+
+impl<Pk> ContentionMedium<Pk> {
+    /// Creates the medium for `n_nodes` radios.
+    pub fn new(n_nodes: usize) -> Self {
+        ContentionMedium {
+            radios: (0..n_nodes).map(|_| Radio::default()).collect(),
+        }
+    }
+}
+
+impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ContentionMedium<Pk> {
+    fn enqueue(
+        &mut self,
+        world: &mut World,
+        from: NodeId,
+        frame: Frame<Pk>,
+    ) -> Result<Option<SimTime>, QueueFull> {
+        let ui = from.index();
+        if self.radios[ui].queue.len() >= world.config().queue_limit {
+            world.stats().queue_drops += 1;
+            return Err(QueueFull);
+        }
+        match frame.kind {
+            PacketKind::Control => {
+                // Behind any already-queued control frames, ahead of data.
+                let at = self.radios[ui]
+                    .queue
+                    .iter()
+                    .position(|f| f.kind == PacketKind::Data)
+                    .unwrap_or(self.radios[ui].queue.len());
+                self.radios[ui].queue.insert(at, frame);
+            }
+            PacketKind::Data => self.radios[ui].queue.push_back(frame),
+        }
+        Ok(self.start_next(world, from))
+    }
+
+    fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
+        let frame = self.radios[from.index()]
+            .current
+            .take()
+            .expect("TxComplete without a frame in flight");
+        let now = world.now();
+        let pos_u = world.pos(from);
+        let to = frame.to;
+        let pos_to = world.pos(to);
+        let range = world.config().radio_range;
+
+        let failure = if pos_u.dist(pos_to) > range {
+            Some(FrameLoss::OutOfRange)
+        } else {
+            // Interference near the receiver (includes hidden terminals).
+            let radios = &self.radios;
+            let k =
+                world.count_within(pos_to, range, from, |v| radios[v.index()].current.is_some());
+            let p_loss = 1.0 - (1.0 - world.config().collision_prob).powi(k as i32);
+            if k > 0 && world.rng().random_range(0.0..1.0) < p_loss {
+                Some(FrameLoss::Collision)
+            } else {
+                None
+            }
+        };
+
+        if let Some(loss) = failure {
+            match loss {
+                FrameLoss::Collision => world.stats().collisions += 1,
+                FrameLoss::OutOfRange => world.stats().out_of_range += 1,
+            }
+            // 802.11-style ARQ: retry with exponential backoff until the
+            // retry budget is spent; the radio stays busy meanwhile.
+            if frame.retries < world.config().mac_retries {
+                let mut frame = frame;
+                frame.retries += 1;
+                let slots = (1u32 << frame.retries.min(10)) as f64;
+                let jitter: f64 = world.rng().random_range(0.0..=1.0);
+                let backoff = world.config().mac_slot * slots * (1.0 + jitter);
+                let duration = world.config().tx_time(frame.size);
+                let at = now + backoff + duration;
+                self.radios[from.index()].current = Some(frame);
+                return TxResolution::Retrying { at };
+            }
+            return TxResolution::Lost;
+        }
+
+        match frame.kind {
+            PacketKind::Data => world.stats().data_tx += 1,
+            PacketKind::Control => world.stats().control_tx += 1,
+        }
+        TxResolution::Delivered {
+            to,
+            packet: frame.packet,
+            from_pos: pos_u,
+        }
+    }
+
+    fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
+        let ui = from.index();
+        if self.radios[ui].current.is_some() || self.radios[ui].queue.is_empty() {
+            return None;
+        }
+        let frame = self.radios[ui].queue.pop_front().expect("queue non-empty");
+        let pos_u = world.pos(from);
+        // Carrier sense: back off proportionally to busy transmitters in a
+        // two-radius neighbourhood, plus random jitter of one slot.
+        let radios = &self.radios;
+        let contention = world.count_within(pos_u, 2.0 * world.config().radio_range, from, |v| {
+            radios[v.index()].current.is_some()
+        }) as f64;
+        let jitter: f64 = world.rng().random_range(0.0..=1.0);
+        let access = world.config().mac_slot * (contention + jitter);
+        let duration = world.config().tx_time(frame.size);
+        let done = world.now() + access + duration;
+        self.radios[ui].current = Some(frame);
+        Some(done)
+    }
+
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.radios[node.index()].queue.len()
+    }
+}

@@ -1,0 +1,202 @@
+//! IMEP-style neighbour sensing: the per-node 1-hop and 2-hop tables
+//! built from periodic beacons and overheard frames.
+//!
+//! Beacons carry the sender's position and a snapshot of its fresh 1-hop
+//! table; receivers merge both with freshest-wins semantics and expire
+//! entries after `config.neighbor_ttl` seconds. Protocol views are
+//! therefore *stale by design*, exactly as in the paper: positions are
+//! as of each neighbour's last beacon, and departures are only noticed
+//! when the TTL lapses.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use glr_geometry::Point2;
+use std::collections::HashMap;
+
+/// A neighbour-table entry: where a node was when we last heard it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborEntry {
+    /// The neighbour.
+    pub id: NodeId,
+    /// Its position at the time of the beacon that created this entry.
+    pub pos: Point2,
+    /// When the information was obtained.
+    pub heard_at: SimTime,
+}
+
+/// All nodes' 1-hop and 2-hop neighbour tables.
+#[derive(Debug)]
+pub(crate) struct NeighborTables {
+    one_hop: Vec<Vec<NeighborEntry>>,
+    two_hop: Vec<Vec<NeighborEntry>>,
+    /// Entries older than this many seconds are considered gone.
+    ttl: f64,
+}
+
+impl NeighborTables {
+    pub(crate) fn new(n_nodes: usize, ttl: f64) -> Self {
+        NeighborTables {
+            one_hop: vec![Vec::new(); n_nodes],
+            two_hop: vec![Vec::new(); n_nodes],
+            ttl,
+        }
+    }
+
+    fn horizon(&self, now: SimTime) -> f64 {
+        now.as_secs() - self.ttl
+    }
+
+    fn upsert(table: &mut Vec<NeighborEntry>, entry: NeighborEntry) {
+        match table.iter_mut().find(|e| e.id == entry.id) {
+            Some(e) => {
+                if entry.heard_at >= e.heard_at {
+                    *e = entry;
+                }
+            }
+            None => table.push(entry),
+        }
+    }
+
+    /// Fresh (non-expired) one-hop entries for `u` at `now`, in table
+    /// order.
+    pub(crate) fn fresh_one_hop(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
+        let horizon = self.horizon(now);
+        self.one_hop[u.index()]
+            .iter()
+            .filter(|e| e.heard_at.as_secs() >= horizon)
+            .copied()
+            .collect()
+    }
+
+    /// Fresh merged 1- and 2-hop entries for `u` — the "distance two
+    /// neighbourhood information" the paper's nodes collect to build the
+    /// LDTG. Excludes `u` itself; the freshest entry per id wins; sorted
+    /// by id.
+    pub(crate) fn fresh_view(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
+        let horizon = self.horizon(now);
+        let mut best: HashMap<NodeId, NeighborEntry> = Default::default();
+        for e in self.one_hop[u.index()]
+            .iter()
+            .chain(self.two_hop[u.index()].iter())
+        {
+            if e.heard_at.as_secs() < horizon || e.id == u {
+                continue;
+            }
+            match best.get(&e.id) {
+                Some(cur) if cur.heard_at >= e.heard_at => {}
+                _ => {
+                    best.insert(e.id, *e);
+                }
+            }
+        }
+        let mut out: Vec<NeighborEntry> = best.into_values().collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+
+    /// Records that `receiver` heard `sender`'s beacon carrying
+    /// `snapshot` (the sender's fresh 1-hop table). Merges the sender
+    /// into the receiver's 1-hop table, the snapshot into its 2-hop
+    /// table, and garbage-collects expired entries. Returns whether the
+    /// sender was already a *fresh* 1-hop neighbour before the beacon
+    /// (`false` means this is a new radio contact).
+    pub(crate) fn record_beacon(
+        &mut self,
+        receiver: NodeId,
+        sender: NeighborEntry,
+        snapshot: &[NeighborEntry],
+        now: SimTime,
+    ) -> bool {
+        let horizon = self.horizon(now);
+        let vi = receiver.index();
+        let was_fresh = self.one_hop[vi]
+            .iter()
+            .any(|e| e.id == sender.id && e.heard_at.as_secs() >= horizon);
+        Self::upsert(&mut self.one_hop[vi], sender);
+        for e in snapshot {
+            if e.id != receiver {
+                Self::upsert(&mut self.two_hop[vi], *e);
+            }
+        }
+        // Garbage-collect expired entries occasionally to bound memory.
+        self.one_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
+        self.two_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
+        was_fresh
+    }
+
+    /// Records that `receiver` heard a (data or control) frame from the
+    /// node described by `entry`: hearing any frame refreshes the
+    /// receiver's 1-hop entry for the sender — data exchange doubles as
+    /// location exchange, as in the paper's IMEP adaptation.
+    pub(crate) fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
+        Self::upsert(&mut self.one_hop[receiver.index()], entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, at: f64) -> NeighborEntry {
+        NeighborEntry {
+            id: NodeId(id),
+            pos: Point2::new(id as f64, 0.0),
+            heard_at: SimTime::from_secs(at),
+        }
+    }
+
+    #[test]
+    fn beacons_fill_tables_and_expire() {
+        let mut t = NeighborTables::new(3, 2.5);
+        let now = SimTime::from_secs(10.0);
+        let fresh = t.record_beacon(NodeId(1), entry(0, 10.0), &[entry(2, 9.5)], now);
+        assert!(!fresh, "first contact must not be fresh");
+        assert_eq!(t.fresh_one_hop(NodeId(1), now).len(), 1);
+        assert_eq!(t.fresh_view(NodeId(1), now).len(), 2);
+        // Second beacon inside the TTL: already fresh.
+        let now2 = SimTime::from_secs(11.0);
+        assert!(t.record_beacon(NodeId(1), entry(0, 11.0), &[], now2));
+        // Long silence: entries expire.
+        let later = SimTime::from_secs(20.0);
+        assert!(t.fresh_one_hop(NodeId(1), later).is_empty());
+        assert!(!t.record_beacon(NodeId(1), entry(0, 20.0), &[], later));
+    }
+
+    #[test]
+    fn fresh_view_dedups_freshest_wins() {
+        let mut t = NeighborTables::new(3, 100.0);
+        let now = SimTime::from_secs(10.0);
+        // Node 2 known both directly (older) and via the snapshot (newer).
+        t.record_beacon(NodeId(0), entry(2, 5.0), &[], now);
+        t.record_beacon(NodeId(0), entry(1, 9.0), &[entry(2, 8.0)], now);
+        let view = t.fresh_view(NodeId(0), now);
+        assert_eq!(view.len(), 2);
+        let e2 = view.iter().find(|e| e.id == NodeId(2)).unwrap();
+        assert_eq!(e2.heard_at, SimTime::from_secs(8.0));
+    }
+
+    #[test]
+    fn snapshot_skips_the_receiver_itself() {
+        let mut t = NeighborTables::new(2, 100.0);
+        let now = SimTime::from_secs(1.0);
+        t.record_beacon(NodeId(1), entry(0, 1.0), &[entry(1, 0.5)], now);
+        assert!(t
+            .fresh_view(NodeId(1), now)
+            .iter()
+            .all(|e| e.id != NodeId(1)));
+    }
+
+    #[test]
+    fn heard_frame_refreshes_without_gc() {
+        let mut t = NeighborTables::new(2, 2.5);
+        t.heard_frame(NodeId(1), entry(0, 1.0));
+        t.heard_frame(NodeId(1), entry(0, 2.0));
+        let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].heard_at, SimTime::from_secs(2.0));
+        // Stale upsert does not regress the entry.
+        t.heard_frame(NodeId(1), entry(0, 1.5));
+        let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
+        assert_eq!(got[0].heard_at, SimTime::from_secs(2.0));
+    }
+}

@@ -4,9 +4,17 @@
 //! topologies and movement patterns, reported with a 90 % confidence
 //! interval. [`MultiRun`] drives that: it re-seeds the configuration for
 //! each run, collects [`RunStats`], and summarises any metric across runs.
+//!
+//! [`MultiRun::execute`] fans the runs out across OS threads (one run is
+//! a pure function of `(config, workload, protocol, seed)`, so runs are
+//! embarrassingly parallel). Results are collected **by run index**, so
+//! the summaries are identical to the serial path regardless of thread
+//! count or completion order — asserted by the tests below.
 
 use crate::config::SimConfig;
 use crate::stats::{summarize, RunStats, Summary};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Results of repeating one experiment across several seeds.
 #[derive(Debug, Clone)]
@@ -15,15 +23,84 @@ pub struct MultiRun {
 }
 
 impl MultiRun {
-    /// Executes `runs` simulations, seeding run `i` with `base_seed + i`,
-    /// and collects their statistics. `run_fn` receives the per-run
-    /// configuration and must return that run's [`RunStats`] (typically by
-    /// constructing a `Simulation` and calling `run()`).
+    /// Executes `runs` simulations in parallel (one thread per available
+    /// core, capped at `runs`), seeding run `i` with `base_seed + i`, and
+    /// collects their statistics in run order. `run_fn` receives the
+    /// per-run configuration and must return that run's [`RunStats`]
+    /// (typically by constructing a `Simulation` and calling `run()`).
+    ///
+    /// Determinism: each run's seed depends only on its index, and
+    /// results are stored by index, so the outcome is identical to
+    /// [`MultiRun::execute_serial`] for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`, or propagates the first panic of any run.
+    pub fn execute(
+        config: &SimConfig,
+        runs: usize,
+        run_fn: impl Fn(SimConfig) -> RunStats + Send + Sync,
+    ) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::execute_with_threads(config, runs, threads, run_fn)
+    }
+
+    /// Like [`MultiRun::execute`] with an explicit worker-thread count
+    /// (clamped to `runs`; `<= 1` runs on the calling thread). Results
+    /// are independent of the count — this is the knob for oversubscribed
+    /// or cgroup-limited hosts, and what the determinism tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`, or propagates the first panic of any run.
+    pub fn execute_with_threads(
+        config: &SimConfig,
+        runs: usize,
+        threads: usize,
+        run_fn: impl Fn(SimConfig) -> RunStats + Send + Sync,
+    ) -> Self {
+        assert!(runs > 0, "need at least one run");
+        let threads = threads.min(runs);
+        if threads <= 1 {
+            return Self::execute_serial(config, runs, run_fn);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunStats>>> = (0..runs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs {
+                        break;
+                    }
+                    let cfg = config.clone().with_seed(config.seed + i as u64);
+                    let stats = run_fn(cfg);
+                    *slots[i].lock().expect("result slot poisoned") = Some(stats);
+                });
+            }
+        });
+        let collected = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without storing its run")
+            })
+            .collect();
+        MultiRun { runs: collected }
+    }
+
+    /// Executes `runs` simulations on the calling thread, seeding run `i`
+    /// with `base_seed + i`. Prefer [`MultiRun::execute`]; this exists
+    /// for stateful `run_fn` closures (`FnMut`) and as the reference the
+    /// parallel path is validated against.
     ///
     /// # Panics
     ///
     /// Panics if `runs == 0`.
-    pub fn execute(
+    pub fn execute_serial(
         config: &SimConfig,
         runs: usize,
         mut run_fn: impl FnMut(SimConfig) -> RunStats,
@@ -124,12 +201,77 @@ mod tests {
     fn execute_reseeds() {
         let cfg = SimConfig::paper(100.0, 10);
         let mut seeds = Vec::new();
-        let mr = MultiRun::execute(&cfg, 3, |c| {
+        let mr = MultiRun::execute_serial(&cfg, 3, |c| {
             seeds.push(c.seed);
             RunStats::new(2)
         });
         assert_eq!(seeds, vec![10, 11, 12]);
         assert_eq!(mr.runs().len(), 3);
+    }
+
+    #[test]
+    fn parallel_execute_matches_serial() {
+        // A deterministic fake run derived only from the seed: the
+        // parallel fan-out must reproduce the serial results exactly, in
+        // run order.
+        let run_fn = |c: SimConfig| {
+            let delivered = (c.seed % 7) as usize;
+            fake_run(delivered, 8)
+        };
+        let cfg = SimConfig::paper(100.0, 40);
+        // Pin the thread count so the threaded path is exercised even on
+        // single-core hosts (where `execute` would fall back to serial).
+        let par = MultiRun::execute_with_threads(&cfg, 16, 4, run_fn);
+        let ser = MultiRun::execute_serial(&cfg, 16, run_fn);
+        assert_eq!(par.runs().len(), 16);
+        for (p, s) in par.runs().iter().zip(ser.runs()) {
+            assert_eq!(p, s);
+        }
+        assert_eq!(par.delivery_ratio(), ser.delivery_ratio());
+        assert_eq!(par.avg_hops(), ser.avg_hops());
+    }
+
+    #[test]
+    fn parallel_execute_runs_real_simulations() {
+        use crate::medium::PacketKind;
+        use crate::sim::{Ctx, Protocol, Simulation};
+        use crate::workload::Workload;
+
+        /// Greedily forwards to the destination when it is in range.
+        struct Direct;
+        impl Protocol for Direct {
+            type Packet = crate::ids::MessageInfo;
+            fn on_message_created(
+                &mut self,
+                ctx: &mut Ctx<'_, Self::Packet>,
+                info: crate::ids::MessageInfo,
+            ) {
+                if ctx.true_pos(info.dst).dist(ctx.my_pos()) <= ctx.config().radio_range {
+                    let _ = ctx.send(info.dst, info, info.size, PacketKind::Data);
+                }
+            }
+            fn on_packet(
+                &mut self,
+                ctx: &mut Ctx<'_, Self::Packet>,
+                _from: NodeId,
+                pkt: Self::Packet,
+            ) {
+                if pkt.dst == ctx.me() {
+                    ctx.deliver(pkt.id, 1);
+                }
+            }
+        }
+
+        let cfg = SimConfig::paper(200.0, 3).with_duration(60.0);
+        let run_fn = |c: SimConfig| {
+            let wl = Workload::paper_style(c.n_nodes, 10, 1000);
+            Simulation::new(c, wl, |_, _| Direct).run()
+        };
+        let par = MultiRun::execute_with_threads(&cfg, 4, 4, run_fn);
+        let ser = MultiRun::execute_serial(&cfg, 4, run_fn);
+        for (p, s) in par.runs().iter().zip(ser.runs()) {
+            assert_eq!(p, s, "parallel run diverged from serial");
+        }
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Spatial indexing of node positions for the engine's proximity queries.
+//!
+//! Every radio event needs "who is within `r` of this point right now".
+//! A linear scan is `O(n)` per query; at paper scale that is tolerable,
+//! but it is the dominant cost at larger node counts (beacons alone make
+//! the engine `O(n²)` per simulated second). [`SpatialIndex`] answers the
+//! same queries from a uniform grid ([`glr_geometry::Grid`]) rebuilt
+//! lazily as simulated time advances.
+//!
+//! **Exactness.** Node positions move continuously, so a grid built at
+//! time `t` is stale at `t' > t`. The index exploits the mobility model's
+//! bounded speed: a node can have drifted at most
+//! `max_speed · (t' - t)` metres from its indexed position. Querying the
+//! grid with the radius *inflated by that drift* yields a candidate
+//! superset, which is then filtered by each candidate's exact position at
+//! `t'` — using the *same* distance predicate as the linear scan. Both
+//! backends therefore return exactly the same node sets, and a
+//! simulation's `RunStats` is bit-identical under either (asserted by
+//! `tests/grid_equivalence.rs`).
+//!
+//! The grid is rebuilt only when the accumulated drift exceeds a fixed
+//! fraction of the cell size, amortising the `O(n)` rebuild over many
+//! events.
+
+use crate::config::SimConfig;
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use glr_geometry::{Grid, Point2};
+use glr_mobility::Trajectory;
+
+/// Which data structure backs the engine's neighbor queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Uniform spatial grid with drift-compensated lazy rebuilds —
+    /// `O(cell occupancy)` per query. The default.
+    #[default]
+    Grid,
+    /// Exhaustive scan over all nodes — `O(n)` per query. Kept as the
+    /// reference implementation the grid is validated against.
+    LinearScan,
+}
+
+/// Extra metres added to the drift bound to absorb floating-point
+/// accumulation in trajectory interpolation. Candidates are over-included
+/// by this margin and discarded by the exact filter, so correctness never
+/// depends on it being tight.
+const DRIFT_EPSILON: f64 = 1e-6;
+
+/// A drift-compensated spatial index over the deployment's trajectories.
+///
+/// # Examples
+///
+/// ```
+/// use glr_sim::{IndexBackend, NodeId, SimTime, SpatialIndex};
+/// use glr_geometry::Point2;
+/// use glr_mobility::Trajectory;
+///
+/// let trajs = vec![
+///     Trajectory::stationary(Point2::new(0.0, 0.0)),
+///     Trajectory::stationary(Point2::new(30.0, 0.0)),
+///     Trajectory::stationary(Point2::new(500.0, 0.0)),
+/// ];
+/// let mut idx = SpatialIndex::new(IndexBackend::Grid, trajs.len(), 0.0, 100.0);
+/// let t = SimTime::ZERO;
+/// idx.refresh(t, &trajs);
+/// let near = idx.nodes_within(&trajs, t, Point2::new(0.0, 0.0), 50.0, NodeId(0));
+/// assert_eq!(near, vec![NodeId(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    backend: IndexBackend,
+    n: usize,
+    /// Preferred cell size (the query radius); widened per rebuild when
+    /// the deployment is so spread out that radius-sized cells would
+    /// explode the bucket count.
+    cell: f64,
+    max_speed: f64,
+    /// Rebuild once drift exceeds this many metres; derived from the
+    /// effective cell size of the last rebuild.
+    slack_limit: f64,
+    built_at: SimTime,
+    positions: Vec<Point2>,
+    grid: Option<Grid>,
+}
+
+impl SpatialIndex {
+    /// Creates an index over `n` nodes whose speed never exceeds
+    /// `max_speed` (m/s), with grid cells of `cell_size` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite or
+    /// `max_speed` is negative.
+    pub fn new(backend: IndexBackend, n: usize, max_speed: f64, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            max_speed.is_finite() && max_speed >= 0.0,
+            "max speed must be finite and non-negative, got {max_speed}"
+        );
+        SpatialIndex {
+            backend,
+            n,
+            cell: cell_size,
+            max_speed,
+            slack_limit: cell_size * 0.25,
+            built_at: SimTime::ZERO,
+            positions: Vec::new(),
+            grid: None,
+        }
+    }
+
+    /// Index configured for a simulation: cell size = radio range, speed
+    /// bound from the mobility configuration (floored at
+    /// [`glr_mobility::SPEED_FLOOR`], which the mobility models clamp
+    /// sampled speeds *up* to — without it a config whose nominal maximum
+    /// is below the floor would under-state the drift bound and break
+    /// grid exactness).
+    pub fn from_config(config: &SimConfig) -> Self {
+        let max_speed = config.speed_range.1.max(glr_mobility::SPEED_FLOOR);
+        SpatialIndex::new(
+            config.neighbor_index,
+            config.n_nodes,
+            max_speed,
+            config.radio_range,
+        )
+    }
+
+    /// Metres any node may have moved since the grid snapshot at `now`.
+    fn drift(&self, now: SimTime) -> f64 {
+        self.max_speed * (now.as_secs() - self.built_at.as_secs()).max(0.0) + DRIFT_EPSILON
+    }
+
+    /// Brings the index up to date for queries at `now`: rebuilds the
+    /// grid snapshot when the drift bound has outgrown its slack. A no-op
+    /// for the linear backend.
+    pub fn refresh(&mut self, now: SimTime, trajectories: &[Trajectory]) {
+        if self.backend == IndexBackend::LinearScan {
+            return;
+        }
+        debug_assert_eq!(trajectories.len(), self.n, "trajectory count changed");
+        if self.grid.is_some() && self.drift(now) <= self.slack_limit {
+            return;
+        }
+        let t = now.as_secs();
+        self.positions.clear();
+        self.positions
+            .extend(trajectories.iter().map(|tr| tr.position_at(t)));
+        // Keep the bucket count O(n): radius-sized cells over a deployment
+        // far sparser than the radio range (e.g. a 100 km region with a
+        // 1 m radio) would allocate billions of empty buckets. Widening
+        // cells only trades query work, never correctness.
+        let (min, max) = glr_geometry::bounding_box(&self.positions);
+        let side_cap = ((self.n as f64).sqrt().ceil() * 2.0).max(1.0);
+        let cell_eff = self
+            .cell
+            .max((max.x - min.x) / side_cap)
+            .max((max.y - min.y) / side_cap);
+        self.grid = Some(Grid::build(&self.positions, cell_eff));
+        self.slack_limit = cell_eff * 0.25;
+        self.built_at = now;
+    }
+
+    /// Ids of all nodes within `range` of `center` at `now`, excluding
+    /// `except`, in ascending id order — exactly the set a linear scan
+    /// over true positions returns.
+    ///
+    /// With the grid backend, [`SpatialIndex::refresh`] must have been
+    /// called at a time `≤ now` (the engine refreshes at the top of every
+    /// query; the drift bound keeps any `now ≥ built_at` correct).
+    pub fn nodes_within(
+        &self,
+        trajectories: &[Trajectory],
+        now: SimTime,
+        center: Point2,
+        range: f64,
+        except: NodeId,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_within(trajectories, now, center, range, except, |v| out.push(v));
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of nodes within `range` of `center` at `now` (excluding
+    /// `except`) for which `pred` holds.
+    pub fn count_within(
+        &self,
+        trajectories: &[Trajectory],
+        now: SimTime,
+        center: Point2,
+        range: f64,
+        except: NodeId,
+        mut pred: impl FnMut(NodeId) -> bool,
+    ) -> usize {
+        let mut count = 0;
+        self.for_each_within(trajectories, now, center, range, except, |v| {
+            if pred(v) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    fn for_each_within(
+        &self,
+        trajectories: &[Trajectory],
+        now: SimTime,
+        center: Point2,
+        range: f64,
+        except: NodeId,
+        mut f: impl FnMut(NodeId),
+    ) {
+        let t = now.as_secs();
+        // The exact membership predicate — identical for both backends
+        // (and to the historical linear scan), so the backends can never
+        // disagree on boundary cases.
+        let mut exact = |v: NodeId| {
+            if v != except && trajectories[v.index()].position_at(t).dist(center) <= range {
+                f(v);
+            }
+        };
+        match (&self.grid, self.backend) {
+            (Some(grid), IndexBackend::Grid) => {
+                grid.for_each_within(&self.positions, center, range + self.drift(now), |i| {
+                    exact(NodeId(i as u32))
+                });
+            }
+            _ => {
+                for i in 0..self.n as u32 {
+                    exact(NodeId(i));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moving(trajs: &[(f64, f64, f64, f64)]) -> Vec<Trajectory> {
+        // Each node moves from (x0, y0) to (x1, y1) over 100 s.
+        trajs
+            .iter()
+            .map(|&(x0, y0, x1, y1)| {
+                Trajectory::from_keyframes(vec![
+                    (0.0, Point2::new(x0, y0)),
+                    (100.0, Point2::new(x1, y1)),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_linear_while_nodes_move() {
+        let trajs = moving(&[
+            (0.0, 0.0, 200.0, 0.0),
+            (50.0, 0.0, 50.0, 90.0),
+            (400.0, 400.0, 0.0, 0.0),
+            (90.0, 10.0, 95.0, 15.0),
+        ]);
+        let max_speed = trajs
+            .iter()
+            .map(|t| {
+                let (a, b) = (t.position_at(0.0), t.position_at(100.0));
+                a.dist(b) / 100.0
+            })
+            .fold(0.0, f64::max);
+        let mut grid = SpatialIndex::new(IndexBackend::Grid, 4, max_speed, 100.0);
+        let linear = SpatialIndex::new(IndexBackend::LinearScan, 4, max_speed, 100.0);
+        // Refresh once at t=0, then query later times without refreshing:
+        // the drift inflation must keep results exact.
+        grid.refresh(SimTime::ZERO, &trajs);
+        for secs in [0.0, 1.0, 3.0, 7.0, 20.0, 55.0, 99.0] {
+            let now = SimTime::from_secs(secs);
+            for r in [30.0, 100.0, 250.0] {
+                for except in 0..4u32 {
+                    let c = trajs[except as usize].position_at(secs);
+                    let got = grid.nodes_within(&trajs, now, c, r, NodeId(except));
+                    let want = linear.nodes_within(&trajs, now, c, r, NodeId(except));
+                    assert_eq!(got, want, "t={secs} r={r} except={except}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_after_slack() {
+        let trajs = moving(&[(0.0, 0.0, 100.0, 0.0), (10.0, 0.0, 10.0, 0.0)]);
+        // 1 m/s, 100 m cells → 25 m slack → rebuild after 25 s.
+        let mut idx = SpatialIndex::new(IndexBackend::Grid, 2, 1.0, 100.0);
+        idx.refresh(SimTime::ZERO, &trajs);
+        let built = idx.built_at;
+        idx.refresh(SimTime::from_secs(10.0), &trajs);
+        assert_eq!(idx.built_at, built, "rebuilt before slack was exceeded");
+        idx.refresh(SimTime::from_secs(60.0), &trajs);
+        assert_eq!(idx.built_at, SimTime::from_secs(60.0));
+    }
+
+    #[test]
+    fn count_within_applies_predicate() {
+        let trajs = moving(&[
+            (0.0, 0.0, 0.0, 0.0),
+            (10.0, 0.0, 10.0, 0.0),
+            (20.0, 0.0, 20.0, 0.0),
+        ]);
+        let mut idx = SpatialIndex::new(IndexBackend::Grid, 3, 0.0, 50.0);
+        idx.refresh(SimTime::ZERO, &trajs);
+        let n = idx.count_within(
+            &trajs,
+            SimTime::ZERO,
+            Point2::new(0.0, 0.0),
+            50.0,
+            NodeId(0),
+            |v| v.0 != 1,
+        );
+        assert_eq!(n, 1); // node 2 only: node 0 excluded, node 1 filtered.
+    }
+}

@@ -26,7 +26,11 @@ pub struct MessageRecord {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so refactor-safety tests can assert that two runs
+/// (e.g. grid- vs linear-indexed, serial vs parallel) are *bit-identical*,
+/// not merely similar.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     records: Vec<MessageRecord>,
     index: HashMap<MessageId, usize>,
@@ -130,7 +134,10 @@ impl RunStats {
 
     /// Number of distinct messages delivered.
     pub fn messages_delivered(&self) -> usize {
-        self.records.iter().filter(|r| r.delivered.is_some()).count()
+        self.records
+            .iter()
+            .filter(|r| r.delivered.is_some())
+            .count()
     }
 
     /// Fraction of injected messages delivered, in `[0, 1]`; 1.0 for an
@@ -242,7 +249,11 @@ const T_95: [f64; 30] = [
 pub fn summarize(samples: &[f64]) -> Summary {
     let n = samples.len();
     if n == 0 {
-        return Summary { mean: 0.0, ci90: 0.0, n };
+        return Summary {
+            mean: 0.0,
+            ci90: 0.0,
+            n,
+        };
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {

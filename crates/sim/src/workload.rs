@@ -44,7 +44,7 @@ impl Workload {
         for m in &messages {
             assert!(m.src != m.dst, "message with src == dst ({})", m.src);
         }
-        messages.sort_by(|a, b| a.at.cmp(&b.at));
+        messages.sort_by_key(|m| m.at);
         Workload { messages }
     }
 
@@ -106,10 +106,7 @@ impl Workload {
     /// message (sequence numbers count per-source in schedule order).
     pub fn message_id(&self, i: usize) -> MessageId {
         let src = self.messages[i].src;
-        let seq = self.messages[..i]
-            .iter()
-            .filter(|m| m.src == src)
-            .count() as u32;
+        let seq = self.messages[..i].iter().filter(|m| m.src == src).count() as u32;
         MessageId { src, seq }
     }
 }
@@ -137,11 +134,7 @@ mod tests {
     fn paper_style_covers_all_pairs_at_full_count() {
         use std::collections::HashSet;
         let w = Workload::paper_style(50, 1980, 1000);
-        let pairs: HashSet<(u32, u32)> = w
-            .messages()
-            .iter()
-            .map(|m| (m.src.0, m.dst.0))
-            .collect();
+        let pairs: HashSet<(u32, u32)> = w.messages().iter().map(|m| (m.src.0, m.dst.0)).collect();
         assert_eq!(pairs.len(), 1980, "all 45*44 ordered pairs exactly once");
     }
 
@@ -167,9 +160,27 @@ mod tests {
     fn message_ids_sequence_per_source() {
         let w = Workload::paper_style(50, 100, 1000);
         // Message 0 and message 45 share source 0 with seqs 0 and 1.
-        assert_eq!(w.message_id(0), MessageId { src: NodeId(0), seq: 0 });
-        assert_eq!(w.message_id(45), MessageId { src: NodeId(0), seq: 1 });
-        assert_eq!(w.message_id(1), MessageId { src: NodeId(1), seq: 0 });
+        assert_eq!(
+            w.message_id(0),
+            MessageId {
+                src: NodeId(0),
+                seq: 0
+            }
+        );
+        assert_eq!(
+            w.message_id(45),
+            MessageId {
+                src: NodeId(0),
+                seq: 1
+            }
+        );
+        assert_eq!(
+            w.message_id(1),
+            MessageId {
+                src: NodeId(1),
+                seq: 0
+            }
+        );
     }
 
     #[test]
@@ -186,8 +197,18 @@ mod tests {
     #[test]
     fn new_sorts_by_time() {
         let w = Workload::new(vec![
-            WorkloadMessage { at: SimTime::from_secs(5.0), src: NodeId(0), dst: NodeId(1), size: 1 },
-            WorkloadMessage { at: SimTime::from_secs(2.0), src: NodeId(1), dst: NodeId(0), size: 1 },
+            WorkloadMessage {
+                at: SimTime::from_secs(5.0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 1,
+            },
+            WorkloadMessage {
+                at: SimTime::from_secs(2.0),
+                src: NodeId(1),
+                dst: NodeId(0),
+                size: 1,
+            },
         ]);
         assert!(w.messages()[0].at < w.messages()[1].at);
     }

@@ -1,0 +1,81 @@
+//! Prints an exact (bit-level) fingerprint of fixed-seed runs for GLR and
+//! epidemic routing. Used to verify that engine refactors keep
+//! `Simulation::run` a pure function of `(config, workload, protocol,
+//! seed)` — any behavioural drift changes at least one line.
+//!
+//! ```sh
+//! cargo run --release --example fingerprint
+//! ```
+
+use glr::core::{Glr, GlrConfig};
+use glr::epidemic::Epidemic;
+use glr::sim::{RunStats, SimConfig, Simulation, Workload};
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Folds every counter and every per-message record (bit-exact times) into
+/// one 64-bit digest.
+fn digest(stats: &RunStats) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        stats.data_tx,
+        stats.control_tx,
+        stats.collisions,
+        stats.out_of_range,
+        stats.queue_drops,
+        stats.storage_drops,
+    ] {
+        h = fnv(h, v);
+    }
+    for &p in &stats.peak_storage {
+        h = fnv(h, p as u64);
+    }
+    let mut counters: Vec<_> = stats.counters.iter().collect();
+    counters.sort();
+    for (name, v) in counters {
+        for b in name.bytes() {
+            h = fnv(h, b as u64);
+        }
+        h = fnv(h, *v);
+    }
+    for r in stats.records() {
+        h = fnv(h, r.src.0 as u64);
+        h = fnv(h, r.dst.0 as u64);
+        h = fnv(h, r.created.as_secs().to_bits());
+        h = fnv(h, r.delivered.map_or(0, |t| t.as_secs().to_bits()));
+        h = fnv(h, r.hops.unwrap_or(0) as u64);
+        h = fnv(h, r.duplicate_deliveries as u64);
+    }
+    h
+}
+
+fn main() {
+    for (name, range, seed) in [
+        ("glr-100m", 100.0, 1u64),
+        ("glr-250m", 250.0, 7),
+        ("epidemic-100m", 100.0, 3),
+        ("epidemic-50m", 50.0, 11),
+    ] {
+        let cfg = SimConfig::paper(range, seed).with_duration(400.0);
+        let wl = Workload::paper_style(cfg.n_nodes, 60, 1000);
+        let stats = if name.starts_with("glr") {
+            Simulation::new(cfg, wl, Glr::factory(GlrConfig::paper())).run()
+        } else {
+            Simulation::new(cfg, wl, Epidemic::new).run()
+        };
+        println!(
+            "{name}: digest={:016x} delivered={} data_tx={} control_tx={} collisions={} \
+             out_of_range={} queue_drops={} latency_bits={:016x}",
+            digest(&stats),
+            stats.messages_delivered(),
+            stats.data_tx,
+            stats.control_tx,
+            stats.collisions,
+            stats.out_of_range,
+            stats.queue_drops,
+            stats.avg_latency().map_or(0, f64::to_bits),
+        );
+    }
+}

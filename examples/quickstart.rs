@@ -37,7 +37,10 @@ fn main() {
         "mean hop count   : {:.1}",
         stats.avg_hops().unwrap_or(f64::NAN)
     );
-    println!("peak storage     : {} messages (worst node)", stats.max_peak_storage());
+    println!(
+        "peak storage     : {} messages (worst node)",
+        stats.max_peak_storage()
+    );
     println!("data frames      : {}", stats.data_tx);
     println!("control frames   : {}", stats.control_tx);
     println!(

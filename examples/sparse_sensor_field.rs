@@ -14,7 +14,7 @@
 use glr::core::Glr;
 use glr::epidemic::Epidemic;
 use glr::mobility::Region;
-use glr::sim::{NodeId, SimConfig, Simulation, Workload, WorkloadMessage, SimTime};
+use glr::sim::{NodeId, SimConfig, SimTime, Simulation, Workload, WorkloadMessage};
 
 fn build_config(seed: u64) -> SimConfig {
     let mut cfg = SimConfig::paper(50.0, seed).with_duration(2000.0);

@@ -67,7 +67,10 @@ fn glr_hop_counts_exceed_epidemic() {
     let g = Simulation::new(cfg.clone(), wl.clone(), Glr::new).run();
     let e = Simulation::new(cfg, wl, Epidemic::new).run();
     let (gh, eh) = (g.avg_hops().unwrap(), e.avg_hops().unwrap());
-    assert!(gh > eh, "GLR hops {gh:.1} must exceed epidemic hops {eh:.1}");
+    assert!(
+        gh > eh,
+        "GLR hops {gh:.1} must exceed epidemic hops {eh:.1}"
+    );
 }
 
 #[test]
@@ -152,6 +155,51 @@ fn partitioned_static_pair_is_undeliverable_for_both() {
     let e = Simulation::new(mk(2), wl, Epidemic::new).run();
     assert_eq!(g.messages_delivered(), 0);
     assert_eq!(e.messages_delivered(), 0);
+}
+
+#[test]
+fn grid_index_is_exact_for_the_full_glr_stack() {
+    // The grid-backed spatial index must be a pure optimisation: the
+    // complete protocol stack (GLR with custody, location diffusion and
+    // face routing over the contention medium) produces bit-identical
+    // statistics under both backends.
+    use glr::sim::IndexBackend;
+    for seed in [3u64, 17] {
+        let cfg = SimConfig::paper(100.0, seed).with_duration(300.0);
+        let wl = Workload::paper_style(50, 80, 1000);
+        let grid = Simulation::new(
+            cfg.clone().with_neighbor_index(IndexBackend::Grid),
+            wl.clone(),
+            Glr::new,
+        )
+        .run();
+        let linear = Simulation::new(
+            cfg.with_neighbor_index(IndexBackend::LinearScan),
+            wl,
+            Glr::new,
+        )
+        .run();
+        assert_eq!(
+            grid, linear,
+            "GLR stack diverged across backends at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn parallel_multi_run_matches_serial_for_glr() {
+    use glr::sim::MultiRun;
+    let cfg = SimConfig::paper(200.0, 21).with_duration(120.0);
+    let run_fn = |c: SimConfig| {
+        let wl = Workload::paper_style(c.n_nodes, 20, 1000);
+        Simulation::new(c, wl, Glr::new).run()
+    };
+    let par = MultiRun::execute_with_threads(&cfg, 4, 4, run_fn);
+    let ser = MultiRun::execute_serial(&cfg, 4, run_fn);
+    for (p, s) in par.runs().iter().zip(ser.runs()) {
+        assert_eq!(p, s, "parallel GLR run diverged from serial");
+    }
+    assert_eq!(par.delivery_ratio(), ser.delivery_ratio());
 }
 
 #[test]
