@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the sweep engine's work-queue scheduling:
+//! cells/second for a fixed 16-cell × 2-run grid, serial vs 4 vs 8
+//! worker threads. The grid mixes cheap and expensive cells (node count
+//! axis) so the work queue's load balancing — not just raw fan-out — is
+//! what's measured.
+//!
+//! Regenerate the committed artefact with:
+//!
+//! ```sh
+//! CRITERION_JSON=BENCH_sweep.json cargo bench -p glr-bench --bench sweep
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glr_sim::{
+    Ctx, MediumKind, MessageInfo, NodeId, PacketKind, Protocol, RunStats, Scenario, SimConfig,
+    Sweep,
+};
+use std::hint::black_box;
+
+/// Forwards to the destination when it is in (true) range.
+struct Direct;
+
+impl Protocol for Direct {
+    type Packet = MessageInfo;
+
+    fn on_message_created(&mut self, ctx: &mut Ctx<'_, MessageInfo>, info: MessageInfo) {
+        if ctx.true_pos(info.dst).dist(ctx.my_pos()) <= ctx.config().radio_range {
+            let _ = ctx.send(info.dst, info, info.size, PacketKind::Data);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, MessageInfo>, _: NodeId, pkt: MessageInfo) {
+        if pkt.dst == ctx.me() {
+            ctx.deliver(pkt.id, 1);
+        }
+    }
+}
+
+/// A 16-cell grid over range × node count × medium with deliberately
+/// uneven per-cell cost (the 80-node cells are ~4x the 30-node ones).
+fn grid() -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for range in [75.0, 125.0, 175.0, 250.0] {
+        for (n_nodes, medium) in [
+            (30, MediumKind::Contention),
+            (30, MediumKind::shadowing()),
+            (80, MediumKind::Contention),
+            (80, MediumKind::Ideal),
+        ] {
+            let cfg = SimConfig::paper(range, 42)
+                .with_nodes(n_nodes)
+                .with_duration(15.0);
+            cells.push(
+                Scenario::new(format!("r{range}-n{n_nodes}-{medium}"), cfg)
+                    .with_messages(20)
+                    .with_medium(medium),
+            );
+        }
+    }
+    cells
+}
+
+fn run_cell(sc: &Scenario, run: usize) -> RunStats {
+    sc.run_nth(run, |_, _| Direct)
+}
+
+fn bench_sweep_scheduling(c: &mut Criterion) {
+    let cells = grid();
+    let mut g = c.benchmark_group("sweep_16c_x2r");
+    g.bench_function(BenchmarkId::new("serial", 1), |b| {
+        b.iter(|| {
+            Sweep::new(2)
+                .with_threads(1)
+                .execute_serial(black_box(&cells), run_cell)
+        })
+    });
+    for threads in [4usize, 8] {
+        g.bench_function(BenchmarkId::new("queue", threads), |b| {
+            b.iter(|| {
+                Sweep::new(2)
+                    .with_threads(threads)
+                    .execute(black_box(&cells), run_cell)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sweep, bench_sweep_scheduling);
+criterion_main!(sweep);

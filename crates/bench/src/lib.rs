@@ -13,7 +13,9 @@ pub use render::{plot_data, svg_topology, Series};
 
 use glr_core::{Glr, GlrConfig};
 use glr_epidemic::Epidemic;
-use glr_sim::{MultiRun, RunStats, SimConfig, Simulation, Summary, Workload};
+use glr_sim::{
+    MultiRun, ReportSet, RunStats, Scenario, SimConfig, Simulation, Summary, Sweep, Workload,
+};
 
 /// How much simulation an experiment buys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +50,89 @@ impl Effort {
     pub fn scale(&self, count: usize) -> usize {
         ((count as u64 * self.scale_pm as u64) / 1000).max(1) as usize
     }
+}
+
+/// Which routing protocol an experiment cell runs.
+#[derive(Debug, Clone)]
+pub enum Proto {
+    /// The paper's protocol with the given configuration.
+    Glr(GlrConfig),
+    /// The epidemic-routing baseline.
+    Epidemic,
+}
+
+impl Proto {
+    /// A short stable name for labels (`"glr"` / `"epidemic"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Proto::Glr(_) => "glr",
+            Proto::Epidemic => "epidemic",
+        }
+    }
+}
+
+/// One cell of an experiment grid: a declarative [`Scenario`] plus the
+/// protocol to run over it. The experiments binary expands every table
+/// and figure into a flat `Vec<Cell>` and hands it to [`execute_cells`];
+/// nothing below this layer loops over parameters by hand.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The scenario (config + workload + medium); its label is the cell
+    /// label used in tables and JSON reports.
+    pub scenario: Scenario,
+    /// The protocol under test.
+    pub proto: Proto,
+}
+
+impl Cell {
+    /// A GLR cell.
+    pub fn glr(scenario: Scenario, glr: GlrConfig) -> Self {
+        Cell {
+            scenario,
+            proto: Proto::Glr(glr),
+        }
+    }
+
+    /// An epidemic-routing cell.
+    pub fn epidemic(scenario: Scenario) -> Self {
+        Cell {
+            scenario,
+            proto: Proto::Epidemic,
+        }
+    }
+
+    /// Executes run `run` of this cell (seeded per
+    /// [`Scenario::run_nth`]). A pure function of `(cell, run)`, as the
+    /// sweep engine requires.
+    pub fn run(&self, run: usize) -> RunStats {
+        match &self.proto {
+            Proto::Glr(cfg) => self.scenario.run_nth(run, Glr::factory(cfg.clone())),
+            Proto::Epidemic => self.scenario.run_nth(run, Epidemic::new),
+        }
+    }
+}
+
+/// Executes an experiment grid on the sweep engine and distils the
+/// results into a shard-mergeable [`ReportSet`].
+///
+/// `threads` of `None` uses one worker per core; `shard` of
+/// `Some((i, n))` executes only every `n`-th cell (the report keeps
+/// global cell indices so shard outputs merge back together).
+pub fn execute_cells(
+    cells: &[Cell],
+    runs: usize,
+    threads: Option<usize>,
+    shard: Option<(usize, usize)>,
+) -> ReportSet {
+    let mut sweep = Sweep::new(runs);
+    if let Some(t) = threads {
+        sweep = sweep.with_threads(t);
+    }
+    if let Some((index, of)) = shard {
+        sweep = sweep.with_shard(index, of);
+    }
+    let results = sweep.execute(cells, |cell, run| cell.run(run));
+    ReportSet::from_sweep(&results, |i| cells[i].scenario.label.clone())
 }
 
 /// Runs GLR over `runs` seeds with the given configs and message count.
@@ -120,6 +205,32 @@ mod tests {
         // Both protocols must have injected the workload.
         assert!(g.runs().iter().all(|r| r.messages_created() == 5));
         assert!(e.runs().iter().all(|r| r.messages_created() == 5));
+    }
+
+    #[test]
+    fn execute_cells_runs_grid_and_shards_merge() {
+        let sim = SimConfig::paper(250.0, 42).with_duration(30.0);
+        let cells = vec![
+            Cell::glr(
+                Scenario::new("glr-cell", sim.clone()).with_messages(5),
+                GlrConfig::paper(),
+            ),
+            Cell::epidemic(Scenario::new("epi-cell", sim).with_messages(5)),
+        ];
+        let full = execute_cells(&cells, 2, Some(2), None);
+        assert!(full.is_complete(2));
+        assert_eq!(full.cells[0].label, "glr-cell");
+        assert!(full
+            .cells
+            .iter()
+            .all(|c| c.runs.iter().all(|r| r.messages_created == 5)));
+
+        let s0 = execute_cells(&cells, 2, None, Some((0, 2)));
+        let s1 = execute_cells(&cells, 2, None, Some((1, 2)));
+        assert!(!s0.is_complete(2));
+        let merged = ReportSet::merge(vec![s1, s0]).expect("disjoint shards");
+        assert_eq!(merged, full);
+        assert_eq!(merged.to_json(), full.to_json());
     }
 
     #[test]

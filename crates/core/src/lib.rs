@@ -24,12 +24,18 @@
 //!
 //! ```
 //! use glr_core::Glr;
-//! use glr_sim::{SimConfig, Simulation, Workload};
+//! use glr_sim::{MediumKind, Scenario, SimConfig};
 //!
-//! // Table 1 configuration at 250 m, 60 simulated seconds.
+//! // Table 1 configuration at 250 m, 60 simulated seconds, as a
+//! // declarative scenario. Swap [`MediumKind`] to re-run the identical
+//! // experiment under an ideal or log-distance-shadowing radio, or hand
+//! // a `Vec<Scenario>` grid to `glr_sim::Sweep` for a multi-threaded
+//! // (and shardable) parameter sweep.
 //! let cfg = SimConfig::paper(250.0, 1).with_duration(60.0);
-//! let workload = Workload::paper_style(50, 20, 1000);
-//! let stats = Simulation::new(cfg, workload, Glr::new).run();
+//! let stats = Scenario::new("quickstart", cfg)
+//!     .with_messages(20)
+//!     .with_medium(MediumKind::Contention)
+//!     .run(Glr::new);
 //! println!("delivered {:.0}%", stats.delivery_ratio() * 100.0);
 //! ```
 

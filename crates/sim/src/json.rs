@@ -1,0 +1,410 @@
+//! A minimal JSON reader for the shard-merge pipeline.
+//!
+//! The build environment has no crates.io access, so the report layer
+//! cannot use `serde`; writing JSON is trivial by hand, and this module
+//! supplies the other direction: a small recursive-descent parser into a
+//! [`Json`] tree. Numbers keep their source lexeme so integer counters
+//! round-trip exactly (no detour through `f64`) and `f64` metrics parse
+//! back to the bit pattern Rust's shortest-round-trip `{:?}` printed.
+//!
+//! Scope: everything the report files need — objects, arrays, strings
+//! with basic escapes (including BMP `\uXXXX`), numbers, booleans and
+//! `null`. Not a general-purpose validator beyond that.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source lexeme.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+            depth: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors with the key name when missing.
+    pub fn field(&self, key: &str) -> Result<&Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// The value as `u64`, if it is an integral number.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(s) => s.parse().map_err(|_| format!("not a u64: {s}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(s) => s.parse().map_err(|_| format!("not a number: {s}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// The value as `f64`, or `None` for `null`.
+    pub fn as_opt_f64(&self) -> Result<Option<f64>, String> {
+        match self {
+            Json::Null => Ok(None),
+            other => other.as_f64().map(Some),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// The value as an object's fields, in source order.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+/// Escapes a string into a JSON string literal (appending the quotes).
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting ceiling: recursive descent would otherwise turn a hostile
+/// "[[[[…" input into a stack overflow instead of an `Err`.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.at,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.at
+            ));
+        }
+        let v = match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.at
+            )),
+        };
+        self.depth -= 1;
+        v
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.at += 1;
+        }
+        let lexeme =
+            std::str::from_utf8(&self.bytes[start..self.at]).expect("number lexeme is ASCII");
+        // Validate now so accessors can't hit malformed lexemes later.
+        // Overflowing lexemes (1e999) parse to infinity in Rust, which
+        // JSON cannot represent — reject them here, where the error can
+        // still name the byte offset.
+        match lexeme.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(lexeme.to_string())),
+            _ => Err(format!("malformed number {lexeme:?} at byte {start}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.at += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("\\u{hex} is not a scalar value"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap().as_u64().unwrap(), 42);
+        assert_eq!(Json::parse("-1.5e3").unwrap().as_f64().unwrap(), -1500.0);
+        assert_eq!(Json::parse("\"hi\"").unwrap().as_str().unwrap(), "hi");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let v = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_u64().unwrap(), 1);
+        assert_eq!(a[2].get("b"), Some(&Json::Null));
+        assert_eq!(v.field("c").unwrap().as_str().unwrap(), "x");
+        assert!(v.field("missing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a \"quoted\"\\ line\nwith\ttabs and unicode ±μ";
+        let mut lit = String::new();
+        write_escaped(&mut lit, original);
+        assert_eq!(Json::parse(&lit).unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(Json::parse(r#""±""#).unwrap().as_str().unwrap(), "±");
+        assert_eq!(Json::parse(r#""A""#).unwrap().as_str().unwrap(), "A");
+    }
+
+    #[test]
+    fn f64_shortest_repr_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 123456.789e-3, f64::MAX, 5e-324] {
+            let text = format!("{x:?}");
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "lost bits for {text}");
+        }
+    }
+
+    #[test]
+    fn u64_exactness_beyond_f64() {
+        let big = u64::MAX - 1;
+        let v = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(v.as_u64().unwrap(), big);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let hostile = "[".repeat(100_000);
+        assert!(Json::parse(&hostile).unwrap_err().contains("nesting"));
+        // Anything at or under the ceiling still parses.
+        let ok = format!("{}1{}", "[".repeat(127), "]".repeat(127));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("--3").is_err());
+        // Overflow to infinity is a parse error, not a silent Ok(inf).
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+    }
+
+    #[test]
+    fn preserves_object_order() {
+        let v = Json::parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let fields = v.as_obj().unwrap();
+        assert_eq!(fields[0].0, "z");
+        assert_eq!(fields[1].0, "a");
+    }
+}

@@ -25,24 +25,30 @@
 //! | module | responsibility |
 //! |---|---|
 //! | [`mod@sim`] | event sequencing: pops events, advances the clock, dispatches |
-//! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait ([`ContentionMedium`] default) |
+//! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait: [`ContentionMedium`] (default), [`IdealMedium`], [`ShadowingMedium`] |
 //! | [`mod@neighbors`] | IMEP beacon sensing, 1-/2-hop tables with TTL expiry |
 //! | [`mod@space`] | proximity queries: grid-indexed ([`SpatialIndex`]) with an exact linear-scan reference backend |
 //! | [`mod@world`] | shared state: clock, trajectories, RNG, statistics |
+//! | [`mod@scenario`] | declarative experiment cells: [`Scenario`] = config + workload + [`MediumKind`] |
+//! | [`mod@sweep`] | the parameter-sweep engine: work-queue execution of `(cell, seed)` units, sharding, deterministic collection |
+//! | [`mod@report`] | shard-mergeable per-run metrics with a serde-free JSON round trip |
 //! | `event` (private) | deterministic time-then-FIFO event queue |
 //!
 //! Protocols implement [`Protocol`]; [`Simulation`] runs one seed (or
 //! [`Simulation::with_medium`] for an alternate PHY); [`MultiRun`]
-//! repeats an experiment across seeds — in parallel, one thread per run —
-//! and reports `mean ± 90 % CI` like every table in the paper. Runs are
-//! pure functions of `(config, workload, protocol, seed)`: the same seed
-//! gives bit-identical [`RunStats`] under either spatial-index backend,
-//! any thread count, and any conforming medium.
+//! repeats an experiment across seeds and reports `mean ± 90 % CI` like
+//! every table in the paper. Whole experiment grids are described as
+//! `Vec<`[`Scenario`]`>` and executed by [`Sweep`], whose `(cell, run)`
+//! work queue fans out across threads — and, via [`Sweep::with_shard`]
+//! plus [`ReportSet::merge`], across machines. Runs are pure functions
+//! of `(config, workload, protocol, seed)`: the same seed gives
+//! bit-identical [`RunStats`] under either spatial-index backend, any
+//! thread count, any shard split, and any conforming medium.
 //!
 //! # Example
 //!
 //! ```
-//! use glr_sim::{Ctx, MessageInfo, NodeId, PacketKind, Protocol, SimConfig, Simulation, Workload};
+//! use glr_sim::{Ctx, MediumKind, MessageInfo, NodeId, PacketKind, Protocol, Scenario, SimConfig};
 //!
 //! /// A protocol that forwards to the destination when it happens to be a
 //! /// current radio neighbour.
@@ -65,9 +71,13 @@
 //!     }
 //! }
 //!
+//! // Declarative cell: config + workload + medium. Swap the medium to
+//! // re-run the identical experiment under an ideal or shadowing radio.
 //! let cfg = SimConfig::paper(250.0, 42).with_duration(60.0);
-//! let stats = Simulation::new(cfg, Workload::paper_style(50, 20, 1000), |_, _| Opportunistic)
-//!     .run();
+//! let stats = Scenario::new("quickstart", cfg)
+//!     .with_messages(20)
+//!     .with_medium(MediumKind::Contention)
+//!     .run(|_, _| Opportunistic);
 //! assert_eq!(stats.messages_created(), 20);
 //! ```
 
@@ -76,24 +86,34 @@
 mod config;
 mod event;
 mod ids;
+mod json;
 pub mod medium;
 pub mod neighbors;
+pub mod report;
 mod runner;
+pub mod scenario;
 pub mod sim;
 pub mod space;
 mod stats;
+pub mod sweep;
 mod time;
 mod workload;
 pub mod world;
 
 pub use config::SimConfig;
 pub use ids::{MessageId, MessageInfo, NodeId};
-pub use medium::{ContentionMedium, Frame, Medium, PacketKind, QueueFull, TxResolution};
+pub use medium::{
+    ContentionMedium, Frame, IdealMedium, Medium, PacketKind, QueueFull, ShadowingMedium,
+    ShadowingParams, TxResolution, SHADOWING_FADE_LOSS,
+};
 pub use neighbors::NeighborEntry;
+pub use report::{CellReport, ReportSet, RunMetrics};
 pub use runner::MultiRun;
+pub use scenario::{MediumKind, Scenario, WorkloadSpec};
 pub use sim::{Ctx, Protocol, Simulation};
 pub use space::{IndexBackend, SpatialIndex};
 pub use stats::{summarize, MessageRecord, RunStats, Summary};
+pub use sweep::{CellRuns, Shard, Sweep, SweepResults};
 pub use time::SimTime;
 pub use workload::{Workload, WorkloadMessage};
 pub use world::World;

@@ -149,6 +149,87 @@ impl<Pk> Default for Radio<Pk> {
     }
 }
 
+impl<Pk> Radio<Pk> {
+    /// Queues a frame under the shared discipline: drop-tail at `limit`,
+    /// control frames jump ahead of queued data (the MAC-level priority
+    /// short frames enjoy in practice; without it, custody
+    /// acknowledgements would sit behind seconds of queued data and every
+    /// cache timeout would fork a duplicate copy).
+    fn push(&mut self, frame: Frame<Pk>, limit: usize) -> Result<(), QueueFull> {
+        if self.queue.len() >= limit {
+            return Err(QueueFull);
+        }
+        match frame.kind {
+            PacketKind::Control => {
+                // Behind any already-queued control frames, ahead of data.
+                let at = self
+                    .queue
+                    .iter()
+                    .position(|f| f.kind == PacketKind::Data)
+                    .unwrap_or(self.queue.len());
+                self.queue.insert(at, frame);
+            }
+            PacketKind::Data => self.queue.push_back(frame),
+        }
+        Ok(())
+    }
+
+    /// Takes the frame whose serialisation just completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no frame is in flight — a `TxComplete` event without
+    /// one is an engine/medium sequencing bug.
+    fn take_in_flight(&mut self) -> Frame<Pk> {
+        self.current
+            .take()
+            .expect("TxComplete without a frame in flight")
+    }
+
+    /// Pops the next queued frame iff the radio is idle (the caller
+    /// computes its completion time and hands it back via `current`).
+    fn pop_next(&mut self) -> Option<Frame<Pk>> {
+        if self.current.is_some() {
+            return None;
+        }
+        self.queue.pop_front()
+    }
+
+    /// Number of frames waiting (not in flight).
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Counts a delivered frame (data vs control) and builds the
+/// [`TxResolution::Delivered`] the engine expects — the accounting every
+/// medium must perform before reporting a delivery.
+fn deliver<Pk>(world: &mut World, frame: Frame<Pk>, from_pos: Point2) -> TxResolution<Pk> {
+    match frame.kind {
+        PacketKind::Data => world.stats().data_tx += 1,
+        PacketKind::Control => world.stats().control_tx += 1,
+    }
+    TxResolution::Delivered {
+        to: frame.to,
+        packet: frame.packet,
+        from_pos,
+    }
+}
+
+/// 802.11-style ARQ re-arm shared by the lossy media: bumps the retry
+/// counter and returns the frame together with its next completion time
+/// (exponential backoff with one slot of random jitter, then
+/// re-serialisation). The caller has already checked the retry budget.
+fn arq_retry<Pk>(world: &mut World, mut frame: Frame<Pk>) -> (Frame<Pk>, SimTime) {
+    frame.retries += 1;
+    let slots = (1u32 << frame.retries.min(10)) as f64;
+    let jitter: f64 = world.rng().random_range(0.0..=1.0);
+    let backoff = world.config().mac_slot * slots * (1.0 + jitter);
+    let duration = world.config().tx_time(frame.size);
+    let at = world.now() + backoff + duration;
+    (frame, at)
+}
+
 /// The default medium: the paper's contention model.
 ///
 /// * unit-disk reception at `config.radio_range`;
@@ -188,34 +269,17 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ContentionMedium<Pk> {
         frame: Frame<Pk>,
     ) -> Result<Option<SimTime>, QueueFull> {
         let ui = from.index();
-        if self.radios[ui].queue.len() >= world.config().queue_limit {
+        if let Err(e) = self.radios[ui].push(frame, world.config().queue_limit) {
             world.stats().queue_drops += 1;
-            return Err(QueueFull);
-        }
-        match frame.kind {
-            PacketKind::Control => {
-                // Behind any already-queued control frames, ahead of data.
-                let at = self.radios[ui]
-                    .queue
-                    .iter()
-                    .position(|f| f.kind == PacketKind::Data)
-                    .unwrap_or(self.radios[ui].queue.len());
-                self.radios[ui].queue.insert(at, frame);
-            }
-            PacketKind::Data => self.radios[ui].queue.push_back(frame),
+            return Err(e);
         }
         Ok(self.start_next(world, from))
     }
 
     fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
-        let frame = self.radios[from.index()]
-            .current
-            .take()
-            .expect("TxComplete without a frame in flight");
-        let now = world.now();
+        let frame = self.radios[from.index()].take_in_flight();
         let pos_u = world.pos(from);
-        let to = frame.to;
-        let pos_to = world.pos(to);
+        let pos_to = world.pos(frame.to);
         let range = world.config().radio_range;
 
         let failure = if pos_u.dist(pos_to) > range {
@@ -241,36 +305,19 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ContentionMedium<Pk> {
             // 802.11-style ARQ: retry with exponential backoff until the
             // retry budget is spent; the radio stays busy meanwhile.
             if frame.retries < world.config().mac_retries {
-                let mut frame = frame;
-                frame.retries += 1;
-                let slots = (1u32 << frame.retries.min(10)) as f64;
-                let jitter: f64 = world.rng().random_range(0.0..=1.0);
-                let backoff = world.config().mac_slot * slots * (1.0 + jitter);
-                let duration = world.config().tx_time(frame.size);
-                let at = now + backoff + duration;
+                let (frame, at) = arq_retry(world, frame);
                 self.radios[from.index()].current = Some(frame);
                 return TxResolution::Retrying { at };
             }
             return TxResolution::Lost;
         }
 
-        match frame.kind {
-            PacketKind::Data => world.stats().data_tx += 1,
-            PacketKind::Control => world.stats().control_tx += 1,
-        }
-        TxResolution::Delivered {
-            to,
-            packet: frame.packet,
-            from_pos: pos_u,
-        }
+        deliver(world, frame, pos_u)
     }
 
     fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
         let ui = from.index();
-        if self.radios[ui].current.is_some() || self.radios[ui].queue.is_empty() {
-            return None;
-        }
-        let frame = self.radios[ui].queue.pop_front().expect("queue non-empty");
+        let frame = self.radios[ui].pop_next()?;
         let pos_u = world.pos(from);
         // Carrier sense: back off proportionally to busy transmitters in a
         // two-radius neighbourhood, plus random jitter of one slot.
@@ -287,6 +334,213 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ContentionMedium<Pk> {
     }
 
     fn queue_len(&self, node: NodeId) -> usize {
-        self.radios[node.index()].queue.len()
+        self.radios[node.index()].queue_len()
+    }
+}
+
+/// A lossless, zero-contention radio for protocol-logic debugging.
+///
+/// Every enqueued frame arrives after pure serialisation time
+/// ([`crate::SimConfig::tx_time`]): no carrier-sense backoff, no jitter,
+/// no collisions, no range check — if the protocol sends it, the
+/// destination hears it. The queue discipline (drop-tail at
+/// `queue_limit`, control-before-data) is shared with
+/// [`ContentionMedium`], so queue-pressure behaviour stays comparable.
+///
+/// `IdealMedium` draws nothing from [`World::rng`], which trivially
+/// satisfies the determinism contract, and never touches the
+/// `collisions`/`out_of_range` counters — a run whose statistics show
+/// either non-zero under this medium has found an engine bug (asserted
+/// by the cross-medium invariant tests).
+#[derive(Debug)]
+pub struct IdealMedium<Pk> {
+    radios: Vec<Radio<Pk>>,
+}
+
+impl<Pk> IdealMedium<Pk> {
+    /// Creates the medium for `n_nodes` radios.
+    pub fn new(n_nodes: usize) -> Self {
+        IdealMedium {
+            radios: (0..n_nodes).map(|_| Radio::default()).collect(),
+        }
+    }
+}
+
+impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for IdealMedium<Pk> {
+    fn enqueue(
+        &mut self,
+        world: &mut World,
+        from: NodeId,
+        frame: Frame<Pk>,
+    ) -> Result<Option<SimTime>, QueueFull> {
+        if let Err(e) = self.radios[from.index()].push(frame, world.config().queue_limit) {
+            world.stats().queue_drops += 1;
+            return Err(e);
+        }
+        Ok(self.start_next(world, from))
+    }
+
+    fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
+        let frame = self.radios[from.index()].take_in_flight();
+        let from_pos = world.pos(from);
+        deliver(world, frame, from_pos)
+    }
+
+    fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
+        let ui = from.index();
+        let frame = self.radios[ui].pop_next()?;
+        let done = world.now() + world.config().tx_time(frame.size);
+        self.radios[ui].current = Some(frame);
+        Some(done)
+    }
+
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.radios[node.index()].queue_len()
+    }
+}
+
+/// Parameters of the log-distance shadowing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowingParams {
+    /// Path-loss exponent `n` of the log-distance model (2 = free space,
+    /// ~3 = the urban/suburban settings the paper's scenarios resemble).
+    pub path_loss_exp: f64,
+    /// Standard deviation of the per-frame log-normal shadowing term, in
+    /// dB (typical measured values: 4–10 dB).
+    pub sigma_db: f64,
+    /// Reference distance `d0` in metres; below it reception is treated
+    /// as certain (shadowing cannot beat a zero-length link).
+    pub d0: f64,
+}
+
+impl Default for ShadowingParams {
+    fn default() -> Self {
+        ShadowingParams {
+            path_loss_exp: 3.0,
+            sigma_db: 6.0,
+            d0: 1.0,
+        }
+    }
+}
+
+/// Counter key under which [`ShadowingMedium`] reports fade losses in
+/// [`crate::RunStats::counters`].
+pub const SHADOWING_FADE_LOSS: &str = "medium.shadow_fade";
+
+/// Log-distance path loss with per-frame log-normal shadowing.
+///
+/// The model is calibrated so that at `config.radio_range` the mean path
+/// loss exactly meets the receiver threshold: the fade margin of a frame
+/// over distance `d` is `10·n·log10(range/d)` dB, and the frame is lost
+/// when a per-frame shadowing draw `X ~ N(0, σ²)` (from [`World::rng`],
+/// preserving the determinism contract) exceeds that margin. Links well
+/// inside the nominal range are near-certain, the delivery probability
+/// is 50 % exactly at the range, and — unlike the unit-disk media — a
+/// lucky fade can carry a frame *beyond* it: soft range edges instead of
+/// a cliff.
+///
+/// Lost frames are retried with the same exponential-backoff ARQ as
+/// [`ContentionMedium`] and accounted under the [`SHADOWING_FADE_LOSS`]
+/// event counter (the `collisions`/`out_of_range` counters stay the
+/// contention model's). Serialisation and queueing match
+/// [`ContentionMedium`] minus the carrier-sense term: one random jitter
+/// slot of medium-access delay, then `tx_time`.
+///
+/// Portability caveat: the fade decision evaluates `ln`/`cos`/`log10`,
+/// which IEEE 754 does not require to be correctly rounded — their
+/// last-ulp behaviour belongs to the platform libm. Shadowing runs are
+/// therefore bit-reproducible per binary (and across shard invocations
+/// of that binary), but a shard computed on a host with a different
+/// libm may diverge; keep multi-machine sweeps on one build when this
+/// medium is in the grid. The unit-disk media use only arithmetic,
+/// `sqrt` and `powi` and carry no such caveat.
+#[derive(Debug)]
+pub struct ShadowingMedium<Pk> {
+    radios: Vec<Radio<Pk>>,
+    params: ShadowingParams,
+}
+
+impl<Pk> ShadowingMedium<Pk> {
+    /// Creates the medium for `n_nodes` radios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or non-finite.
+    pub fn new(n_nodes: usize, params: ShadowingParams) -> Self {
+        assert!(
+            params.path_loss_exp > 0.0 && params.path_loss_exp.is_finite(),
+            "path-loss exponent must be positive"
+        );
+        assert!(
+            params.sigma_db >= 0.0 && params.sigma_db.is_finite(),
+            "shadowing sigma must be non-negative"
+        );
+        assert!(
+            params.d0 > 0.0 && params.d0.is_finite(),
+            "reference distance must be positive"
+        );
+        ShadowingMedium {
+            radios: (0..n_nodes).map(|_| Radio::default()).collect(),
+            params,
+        }
+    }
+
+    /// A standard normal draw via Box–Muller (the vendored `rand` shim has
+    /// no distributions module).
+    fn standard_normal(rng: &mut impl Rng) -> f64 {
+        let u1: f64 = rng.random_range(0.0..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        // 1 - u1 ∈ (0, 1], so the log is finite.
+        (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ShadowingMedium<Pk> {
+    fn enqueue(
+        &mut self,
+        world: &mut World,
+        from: NodeId,
+        frame: Frame<Pk>,
+    ) -> Result<Option<SimTime>, QueueFull> {
+        if let Err(e) = self.radios[from.index()].push(frame, world.config().queue_limit) {
+            world.stats().queue_drops += 1;
+            return Err(e);
+        }
+        Ok(self.start_next(world, from))
+    }
+
+    fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
+        let frame = self.radios[from.index()].take_in_flight();
+        let pos_u = world.pos(from);
+        let d = pos_u.dist(world.pos(frame.to)).max(self.params.d0);
+        // Fade margin in dB: zero at the nominal range, positive inside.
+        let margin_db = 10.0 * self.params.path_loss_exp * (world.config().radio_range / d).log10();
+        let shadow_db = self.params.sigma_db * Self::standard_normal(world.rng());
+
+        if shadow_db > margin_db {
+            world.stats().count_event(SHADOWING_FADE_LOSS);
+            if frame.retries < world.config().mac_retries {
+                let (frame, at) = arq_retry(world, frame);
+                self.radios[from.index()].current = Some(frame);
+                return TxResolution::Retrying { at };
+            }
+            return TxResolution::Lost;
+        }
+
+        deliver(world, frame, pos_u)
+    }
+
+    fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
+        let ui = from.index();
+        let frame = self.radios[ui].pop_next()?;
+        let jitter: f64 = world.rng().random_range(0.0..=1.0);
+        let access = world.config().mac_slot * jitter;
+        let done = world.now() + access + world.config().tx_time(frame.size);
+        self.radios[ui].current = Some(frame);
+        Some(done)
+    }
+
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.radios[node.index()].queue_len()
     }
 }

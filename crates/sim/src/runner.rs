@@ -7,14 +7,15 @@
 //!
 //! [`MultiRun::execute`] fans the runs out across OS threads (one run is
 //! a pure function of `(config, workload, protocol, seed)`, so runs are
-//! embarrassingly parallel). Results are collected **by run index**, so
-//! the summaries are identical to the serial path regardless of thread
-//! count or completion order — asserted by the tests below.
+//! embarrassingly parallel). Since PR 2 the execution itself is the
+//! [`Sweep`] engine's work queue — a `MultiRun` is simply a sweep of one
+//! cell — so the summaries are identical to the serial path regardless
+//! of thread count or completion order, asserted by the tests below and
+//! by the sweep engine's own.
 
 use crate::config::SimConfig;
 use crate::stats::{summarize, RunStats, Summary};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sweep::Sweep;
 
 /// Results of repeating one experiment across several seeds.
 #[derive(Debug, Clone)]
@@ -62,34 +63,16 @@ impl MultiRun {
         run_fn: impl Fn(SimConfig) -> RunStats + Send + Sync,
     ) -> Self {
         assert!(runs > 0, "need at least one run");
-        let threads = threads.min(runs);
-        if threads <= 1 {
-            return Self::execute_serial(config, runs, run_fn);
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunStats>>> = (0..runs).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= runs {
-                        break;
-                    }
-                    let cfg = config.clone().with_seed(config.seed + i as u64);
-                    let stats = run_fn(cfg);
-                    *slots[i].lock().expect("result slot poisoned") = Some(stats);
-                });
-            }
-        });
-        let collected = slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker exited without storing its run")
-            })
-            .collect();
-        MultiRun { runs: collected }
+        let results = Sweep::new(runs)
+            .with_threads(threads)
+            .execute(&[()], |(), i| {
+                run_fn(config.clone().with_seed(config.seed + i as u64))
+            });
+        let cell = results
+            .into_cells()
+            .pop()
+            .expect("single-cell sweep produced no cell");
+        MultiRun { runs: cell.runs }
     }
 
     /// Executes `runs` simulations on the calling thread, seeding run `i`

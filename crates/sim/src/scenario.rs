@@ -1,0 +1,307 @@
+//! Declarative experiment description: one [`Scenario`] bundles the
+//! engine configuration, the traffic workload, and the radio medium into
+//! a value that can be stored, labelled, swept over, and executed.
+//!
+//! This is the layer the sweep engine ([`crate::Sweep`]) iterates over:
+//! experiment grids expand into `Vec<Scenario>` (one per cell) instead of
+//! hand-rolled nested loops, and a scenario runs any [`Protocol`] under
+//! any of the built-in media without the call site naming concrete
+//! medium types.
+//!
+//! # Example
+//!
+//! ```
+//! use glr_sim::{Ctx, MediumKind, MessageInfo, NodeId, Protocol, Scenario, SimConfig};
+//!
+//! struct Idle;
+//! impl Protocol for Idle {
+//!     type Packet = ();
+//!     fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+//!     fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+//! }
+//!
+//! let base = SimConfig::paper(100.0, 7).with_duration(30.0);
+//! // The same experiment under two radios, differing only in the medium.
+//! for medium in [MediumKind::Contention, MediumKind::Ideal] {
+//!     let sc = Scenario::new("demo", base.clone())
+//!         .with_messages(5)
+//!         .with_medium(medium);
+//!     let stats = sc.run(|_, _| Idle);
+//!     assert_eq!(stats.messages_created(), 5);
+//! }
+//! ```
+
+use crate::config::SimConfig;
+use crate::ids::NodeId;
+use crate::medium::{ContentionMedium, IdealMedium, Medium, ShadowingMedium, ShadowingParams};
+use crate::sim::{Protocol, Simulation};
+use crate::stats::RunStats;
+use crate::workload::Workload;
+
+/// Which radio/PHY model a scenario runs over.
+///
+/// This is the declarative counterpart of the [`Medium`] trait: a value
+/// that names a built-in medium and can be stored in a scenario, printed,
+/// compared, and expanded along a sweep axis. Custom media keep using
+/// [`Simulation::with_medium`] directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MediumKind {
+    /// [`ContentionMedium`] — the paper's NS-2-calibrated 802.11 model
+    /// (the default).
+    Contention,
+    /// [`IdealMedium`] — lossless and contention-free, for protocol-logic
+    /// debugging.
+    Ideal,
+    /// [`ShadowingMedium`] — log-distance path loss with per-frame
+    /// log-normal shadowing.
+    Shadowing(ShadowingParams),
+}
+
+impl MediumKind {
+    /// The shadowing medium with default parameters.
+    pub fn shadowing() -> Self {
+        MediumKind::Shadowing(ShadowingParams::default())
+    }
+
+    /// Instantiates the medium for `n_nodes` radios.
+    pub fn build<Pk: Clone + std::fmt::Debug + 'static>(
+        &self,
+        n_nodes: usize,
+    ) -> Box<dyn Medium<Pk>> {
+        match self {
+            MediumKind::Contention => Box::new(ContentionMedium::new(n_nodes)),
+            MediumKind::Ideal => Box::new(IdealMedium::new(n_nodes)),
+            MediumKind::Shadowing(p) => Box::new(ShadowingMedium::new(n_nodes, *p)),
+        }
+    }
+
+    /// A short stable name (`"contention"`, `"ideal"`, `"shadowing"`) for
+    /// labels and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MediumKind::Contention => "contention",
+            MediumKind::Ideal => "ideal",
+            MediumKind::Shadowing(_) => "shadowing",
+        }
+    }
+}
+
+impl std::fmt::Display for MediumKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a scenario's traffic is generated.
+///
+/// Workloads are derived from the scenario configuration at run time, so
+/// a sweep axis over `n_nodes` automatically gets correctly-sized
+/// paper-style traffic without the cell storing a stale message list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// [`Workload::paper_style`] traffic: `messages` messages of `size`
+    /// bytes, round-robin over the active subset of the deployment.
+    PaperStyle {
+        /// Number of messages to inject.
+        messages: usize,
+        /// Payload size in bytes.
+        size: u32,
+    },
+    /// An explicit, pre-built message schedule.
+    Explicit(Workload),
+}
+
+/// A declarative, self-contained experiment cell: configuration, traffic
+/// and radio medium, plus a human-readable label.
+///
+/// A `Scenario` is inert data until [`Scenario::run`] (or
+/// [`Scenario::run_nth`], which the sweep engine uses to re-seed the
+/// same cell per run). Two runs of the same scenario with the same seed
+/// are bit-identical regardless of thread count — the property the
+/// shard-merge pipeline relies on. Across *machines* this extends to
+/// any host computing `f64` math identically (in practice: the same
+/// binary, or same target + libm); [`MediumKind::Shadowing`] draws
+/// through `ln`/`cos`/`log10`, whose last-ulp rounding is libm's, not
+/// IEEE-mandated — see [`ShadowingMedium`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable label (table row / JSON cell name).
+    pub label: String,
+    /// Engine configuration (including the cell's base seed).
+    pub config: SimConfig,
+    /// Traffic description.
+    pub workload: WorkloadSpec,
+    /// Radio/PHY model.
+    pub medium: MediumKind,
+}
+
+impl Scenario {
+    /// A scenario over `config` with an empty workload and the default
+    /// [`MediumKind::Contention`]; attach traffic with
+    /// [`Scenario::with_messages`] or [`Scenario::with_workload`].
+    pub fn new(label: impl Into<String>, config: SimConfig) -> Self {
+        Scenario {
+            label: label.into(),
+            config,
+            workload: WorkloadSpec::Explicit(Workload::default()),
+            medium: MediumKind::Contention,
+        }
+    }
+
+    /// Returns the scenario with paper-style traffic of `messages`
+    /// 1000-byte messages (the paper's payload size).
+    pub fn with_messages(mut self, messages: usize) -> Self {
+        self.workload = WorkloadSpec::PaperStyle {
+            messages,
+            size: 1000,
+        };
+        self
+    }
+
+    /// Returns the scenario with an explicit workload spec.
+    pub fn with_workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = spec;
+        self
+    }
+
+    /// Returns the scenario over a different medium.
+    pub fn with_medium(mut self, medium: MediumKind) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// Materialises the workload for this scenario's configuration.
+    pub fn build_workload(&self) -> Workload {
+        match &self.workload {
+            WorkloadSpec::PaperStyle { messages, size } => {
+                Workload::paper_style(self.config.n_nodes, *messages, *size)
+            }
+            WorkloadSpec::Explicit(w) => w.clone(),
+        }
+    }
+
+    /// Runs the scenario once with its configured seed.
+    pub fn run<P: Protocol>(&self, factory: impl FnMut(NodeId, &SimConfig) -> P) -> RunStats {
+        self.run_seeded(self.config.seed, factory)
+    }
+
+    /// Runs the `run`-th seeded repetition of the scenario: seed
+    /// `config.seed + run`, matching [`crate::MultiRun`] semantics. This
+    /// is THE per-cell run function for [`crate::Sweep`] — the shard
+    /// merge's byte-identity guarantee depends on every executor seeding
+    /// the same way, so derive sweep seeds here rather than by hand.
+    pub fn run_nth<P: Protocol>(
+        &self,
+        run: usize,
+        factory: impl FnMut(NodeId, &SimConfig) -> P,
+    ) -> RunStats {
+        self.run_seeded(self.config.seed + run as u64, factory)
+    }
+
+    /// Runs the scenario once under an explicit seed.
+    pub fn run_seeded<P: Protocol>(
+        &self,
+        seed: u64,
+        factory: impl FnMut(NodeId, &SimConfig) -> P,
+    ) -> RunStats {
+        let config = self.config.clone().with_seed(seed);
+        let workload = self.build_workload();
+        let medium = self.medium.build(config.n_nodes);
+        Simulation::with_boxed_medium(config, workload, factory, medium).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MessageInfo;
+    use crate::medium::PacketKind;
+    use crate::sim::Ctx;
+
+    /// Forwards to the destination when it is in (true) range.
+    struct Direct;
+    impl Protocol for Direct {
+        type Packet = MessageInfo;
+        fn on_message_created(&mut self, ctx: &mut Ctx<'_, MessageInfo>, info: MessageInfo) {
+            if ctx.true_pos(info.dst).dist(ctx.my_pos()) <= ctx.config().radio_range {
+                let _ = ctx.send(info.dst, info, info.size, PacketKind::Data);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, MessageInfo>, _: NodeId, pkt: MessageInfo) {
+            if pkt.dst == ctx.me() {
+                ctx.deliver(pkt.id, 1);
+            }
+        }
+    }
+
+    fn base() -> SimConfig {
+        SimConfig::paper(150.0, 11).with_duration(40.0)
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let sc = Scenario::new("det", base()).with_messages(20);
+        let a = sc.run(|_, _| Direct);
+        let b = sc.run(|_, _| Direct);
+        assert_eq!(a, b);
+        assert_eq!(a.messages_created(), 20);
+    }
+
+    #[test]
+    fn run_seeded_overrides_seed() {
+        let sc = Scenario::new("seeded", base()).with_messages(30);
+        let a = sc.run_seeded(100, |_, _| Direct);
+        let b = sc.run_seeded(101, |_, _| Direct);
+        let a2 = sc.run_seeded(100, |_, _| Direct);
+        assert_eq!(a, a2);
+        assert_ne!(
+            (a.data_tx, a.messages_delivered()),
+            (b.data_tx, b.messages_delivered())
+        );
+    }
+
+    #[test]
+    fn media_are_selectable() {
+        for medium in [
+            MediumKind::Contention,
+            MediumKind::Ideal,
+            MediumKind::shadowing(),
+        ] {
+            let sc = Scenario::new(format!("m-{medium}"), base())
+                .with_messages(10)
+                .with_medium(medium);
+            let stats = sc.run(|_, _| Direct);
+            assert_eq!(stats.messages_created(), 10, "medium {medium}");
+            if medium == MediumKind::Ideal {
+                assert_eq!(stats.collisions, 0);
+                assert_eq!(stats.out_of_range, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_workload_respected() {
+        let wl = Workload::single(NodeId(0), NodeId(1), 2.0, 500);
+        let sc = Scenario::new("explicit", base()).with_workload(WorkloadSpec::Explicit(wl));
+        let stats = sc.run(|_, _| Direct);
+        assert_eq!(stats.messages_created(), 1);
+    }
+
+    #[test]
+    fn paper_workload_tracks_node_count() {
+        let mut cfg = base();
+        cfg.n_nodes = 20;
+        let sc = Scenario::new("scaled", cfg).with_messages(40);
+        let wl = sc.build_workload();
+        assert_eq!(wl.len(), 40);
+        // paper_style keeps sources within the active subset of 20 nodes.
+        assert!(wl.messages().iter().all(|m| m.src.index() < 15));
+    }
+
+    #[test]
+    fn medium_kind_names() {
+        assert_eq!(MediumKind::Contention.name(), "contention");
+        assert_eq!(MediumKind::Ideal.to_string(), "ideal");
+        assert_eq!(MediumKind::shadowing().name(), "shadowing");
+    }
+}

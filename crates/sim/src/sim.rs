@@ -286,8 +286,25 @@ impl<P: Protocol> Simulation<P> {
     pub fn with_medium(
         config: SimConfig,
         workload: Workload,
-        mut factory: impl FnMut(NodeId, &SimConfig) -> P,
+        factory: impl FnMut(NodeId, &SimConfig) -> P,
         medium: impl Medium<P::Packet> + 'static,
+    ) -> Self {
+        Simulation::with_boxed_medium(config, workload, factory, Box::new(medium))
+    }
+
+    /// Like [`Simulation::with_medium`] for an already-boxed medium — the
+    /// entry point used by [`crate::MediumKind`], where the concrete
+    /// medium type is chosen at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the workload references
+    /// nodes outside `0..n_nodes`.
+    pub fn with_boxed_medium(
+        config: SimConfig,
+        workload: Workload,
+        mut factory: impl FnMut(NodeId, &SimConfig) -> P,
+        medium: Box<dyn Medium<P::Packet>>,
     ) -> Self {
         config.validate();
         for m in workload.messages() {
@@ -316,7 +333,7 @@ impl<P: Protocol> Simulation<P> {
         let core = Core {
             world: World::new(config, trajectories, rng),
             events: EventQueue::new(),
-            medium: Box::new(medium),
+            medium,
             tables,
         };
         Simulation {

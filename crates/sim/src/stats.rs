@@ -107,6 +107,19 @@ impl RunStats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The event counters sorted by name.
+    ///
+    /// [`RunStats::counters`] is a `HashMap`, so its iteration order
+    /// varies run to run; every printed or serialised counter listing
+    /// must go through this method (the output boundary) to stay
+    /// deterministic.
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut entries: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
     /// Updates a node's storage occupancy sample.
     pub fn sample_storage(&mut self, node: NodeId, used: usize) {
         let i = node.index();
@@ -331,6 +344,49 @@ mod tests {
         assert_eq!(s.ci90, 0.0);
         assert_eq!(summarize(&[]).mean, 0.0);
         assert_eq!(summarize(&[7.0]).ci90, 0.0);
+    }
+
+    #[test]
+    fn summarize_zero_runs() {
+        let s = summarize(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.display(2), "0.00 ± 0.00");
+    }
+
+    #[test]
+    fn summarize_single_run_has_zero_width_ci() {
+        let s = summarize(&[42.5]);
+        assert_eq!(s.mean, 42.5);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn summarize_constant_metric_has_zero_width_ci() {
+        // A metric identical across runs must report exactly 0 CI, with
+        // no floating-point residue from the variance computation.
+        for n in [2usize, 3, 10, 50] {
+            let xs = vec![13.25; n];
+            let s = summarize(&xs);
+            assert_eq!(s.mean, 13.25, "n = {n}");
+            assert_eq!(s.ci90, 0.0, "n = {n}");
+            assert_eq!(s.n, n);
+        }
+    }
+
+    #[test]
+    fn counters_sorted_is_deterministic() {
+        let mut s = RunStats::new(1);
+        for name in ["glr.perturb", "ack", "zeta", "beacon.miss"] {
+            s.count_event(name);
+        }
+        s.count_event("ack");
+        let sorted = s.counters_sorted();
+        let keys: Vec<&str> = sorted.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["ack", "beacon.miss", "glr.perturb", "zeta"]);
+        assert_eq!(sorted[0].1, 2);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! * [`mobility`] — random waypoint (the paper's motion model), random
 //!   walk and stationary trajectories;
 //! * [`sim`] — the deterministic discrete-event DTN simulator (the NS-2
-//!   substitute): unit-disk radio with contention, beacon-based neighbour
-//!   sensing, workloads and statistics;
+//!   substitute): pluggable radio media (contention / ideal / shadowing),
+//!   beacon-based neighbour sensing, workloads and statistics, plus the
+//!   declarative scenario layer and the sharded parameter-sweep engine
+//!   with mergeable JSON reports;
 //! * [`epidemic`] — the epidemic-routing baseline (Vahdat & Becker);
 //! * [`core`] — the GLR protocol itself: controlled flooding over DSTD
 //!   trees, custody transfer, location diffusion, face-routing recovery.
