@@ -1,6 +1,9 @@
 //! Criterion benchmarks of the engine's neighbor queries: uniform-grid
 //! spatial index vs the linear-scan reference, at 50 / 500 / 5000 nodes,
-//! plus whole-engine runs under both backends at 500 nodes.
+//! whole-engine runs under both backends at 500 nodes, and the beacon
+//! hot path — `Arc`-interned snapshots + incremental two-hop merges
+//! (`TableBackend::Shared`) vs the clone-and-merge reference
+//! (`TableBackend::CloneMerge`) — at 500 / 5000 / 10000 nodes.
 //!
 //! Node density is held at the paper's (50 nodes per 1500 m × 300 m
 //! strip) by scaling the region with √n, so per-query result sizes stay
@@ -14,7 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glr_mobility::{MobilityModel, RandomWaypoint, Region, Trajectory};
-use glr_sim::{IndexBackend, NodeId, SimConfig, SimTime, Simulation, SpatialIndex, Workload};
+use glr_sim::{
+    IndexBackend, NeighborEntry, NeighborTables, NodeId, SimConfig, SimTime, Simulation,
+    SpatialIndex, TableBackend, Workload,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -99,5 +105,111 @@ fn bench_engine_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(neighbors, bench_nodes_within, bench_engine_end_to_end);
+/// One backend's beacon workload: `rounds` full beacon rounds — per
+/// beacon one snapshot materialisation, then a `record_beacon` at each
+/// radio neighbour — with a `fresh_view` (2-hop) query at 64 probe
+/// nodes per round, the mix a beacon interval of protocol activity
+/// generates.
+fn beacon_rounds(
+    backend: TableBackend,
+    n: usize,
+    positions: &[glr_geometry::Point2],
+    nbrs: &[Vec<NodeId>],
+    rounds: usize,
+) -> (usize, usize) {
+    let mut tables = NeighborTables::new(n, 2.5, backend);
+    let mut contacts = 0usize;
+    let mut seen = 0usize;
+    for round in 0..rounds {
+        let now = SimTime::from_secs(round as f64 + 1.0);
+        for u in 0..n {
+            let sender = NeighborEntry {
+                id: NodeId(u as u32),
+                pos: positions[u],
+                heard_at: now,
+            };
+            let snap = tables.beacon_snapshot(NodeId(u as u32), now);
+            for &v in &nbrs[u] {
+                contacts += usize::from(!tables.record_beacon(v, sender, &snap, now));
+            }
+        }
+        for k in 0..64usize {
+            let u = NodeId((k * n / 64) as u32);
+            seen += tables.fresh_view(u, now).len();
+        }
+    }
+    (contacts, seen)
+}
+
+/// Static deployment with the region scaled by `(n/50)^exponent`:
+/// exponent 0.5 holds the paper's node density (constant radio degree),
+/// 0.25 grows density with `√n` — the dense regime where the reference
+/// backend's per-reception merge is quadratic in the degree.
+fn tables_fixture(
+    n: usize,
+    exponent: f64,
+    seed: u64,
+) -> (Vec<glr_geometry::Point2>, Vec<Vec<NodeId>>) {
+    let scale = (n as f64 / 50.0).powf(exponent);
+    let region = Region::new(1500.0 * scale, 300.0 * scale);
+    let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trajs = model.deployment(region, n, 10.0, &mut rng);
+    let positions: Vec<_> = trajs.iter().map(|t| t.position_at(0.0)).collect();
+    let mut idx = SpatialIndex::new(IndexBackend::Grid, n, 20.0, RANGE);
+    idx.refresh(SimTime::ZERO, &trajs);
+    let nbrs: Vec<Vec<NodeId>> = (0..n)
+        .map(|u| idx.nodes_within(&trajs, SimTime::ZERO, positions[u], RANGE, NodeId(u as u32)))
+        .collect();
+    (positions, nbrs)
+}
+
+/// The beacon hot path at the paper's density (degree stays ~constant
+/// as `n` grows): interned snapshots vs the clone-and-merge reference.
+/// Neighbour lists are precomputed so the measurement is the table
+/// layer, not the spatial index.
+fn bench_beacon_paper_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beacon_3rounds_64q");
+    for n in [500usize, 5000, 10000] {
+        let (positions, nbrs) = tables_fixture(n, 0.5, 42);
+        for (name, backend) in [
+            ("clone", TableBackend::CloneMerge),
+            ("shared", TableBackend::Shared),
+        ] {
+            g.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| black_box(beacon_rounds(backend, n, &positions, &nbrs, 3)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The beacon hot path in the dense regime (density grows with `√n`, so
+/// the radio degree grows too — the regime that dominates 10k+-node
+/// scenarios whose deployment area does not scale with the swarm). The
+/// reference pays O(degree × two-hop table) per reception; the shared
+/// backend pays O(1).
+fn bench_beacon_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beacon_dense_1round_64q");
+    for n in [500usize, 5000, 10000] {
+        let (positions, nbrs) = tables_fixture(n, 0.25, 42);
+        for (name, backend) in [
+            ("clone", TableBackend::CloneMerge),
+            ("shared", TableBackend::Shared),
+        ] {
+            g.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| black_box(beacon_rounds(backend, n, &positions, &nbrs, 1)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    neighbors,
+    bench_nodes_within,
+    bench_engine_end_to_end,
+    bench_beacon_paper_density,
+    bench_beacon_dense
+);
 criterion_main!(neighbors);

@@ -258,7 +258,40 @@ fn main() {
         cells.len(),
         grid_digest(&cells)
     );
-    let report = execute_cells(&cells, effort.runs, threads, shard).with_context(context);
+    // Resume: a --json file left behind by an interrupted invocation of
+    // the *same* grid (matching context) marks its cells as already done;
+    // only the missing cells run, and the merged output is byte-identical
+    // to an uninterrupted run (runs are pure functions of (cell, seed)).
+    let mut existing: Option<ReportSet> = None;
+    if let Some(path) = &json {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            match ReportSet::from_json(&text) {
+                Ok(prev) if prev.context == context => {
+                    println!(
+                        "resuming: {} of {} cells already in {path}",
+                        prev.cells.len(),
+                        cells.len()
+                    );
+                    existing = Some(prev);
+                }
+                Ok(prev) => println!(
+                    "not resuming from {path}: it holds a different sweep \
+                     (context {:?}); it will be overwritten",
+                    prev.context
+                ),
+                Err(e) => println!("not resuming from {path} (unparseable: {e}); overwriting"),
+            }
+        }
+    }
+    let skip: Vec<usize> = existing
+        .as_ref()
+        .map_or_else(Vec::new, ReportSet::completed_cells);
+    let fresh = execute_cells(&cells, effort.runs, threads, shard, &skip).with_context(context);
+    let report = match existing {
+        Some(prev) => ReportSet::merge(vec![prev, fresh])
+            .unwrap_or_else(|e| die(&format!("cannot merge resumed results: {e}"))),
+        None => fresh,
+    };
 
     if let Some(path) = &json {
         std::fs::write(path, report.to_json())

@@ -117,14 +117,18 @@ impl Cell {
 ///
 /// `threads` of `None` uses one worker per core; `shard` of
 /// `Some((i, n))` executes only every `n`-th cell (the report keeps
-/// global cell indices so shard outputs merge back together).
+/// global cell indices so shard outputs merge back together); `skip`
+/// lists cells already completed by an interrupted run — they are not
+/// re-executed and are absent from the returned report (merge it with
+/// the old one to reassemble the full grid).
 pub fn execute_cells(
     cells: &[Cell],
     runs: usize,
     threads: Option<usize>,
     shard: Option<(usize, usize)>,
+    skip: &[usize],
 ) -> ReportSet {
-    let mut sweep = Sweep::new(runs);
+    let mut sweep = Sweep::new(runs).skipping(skip.iter().copied());
     if let Some(t) = threads {
         sweep = sweep.with_threads(t);
     }
@@ -217,7 +221,7 @@ mod tests {
             ),
             Cell::epidemic(Scenario::new("epi-cell", sim).with_messages(5)),
         ];
-        let full = execute_cells(&cells, 2, Some(2), None);
+        let full = execute_cells(&cells, 2, Some(2), None, &[]);
         assert!(full.is_complete(2));
         assert_eq!(full.cells[0].label, "glr-cell");
         assert!(full
@@ -225,8 +229,8 @@ mod tests {
             .iter()
             .all(|c| c.runs.iter().all(|r| r.messages_created == 5)));
 
-        let s0 = execute_cells(&cells, 2, None, Some((0, 2)));
-        let s1 = execute_cells(&cells, 2, None, Some((1, 2)));
+        let s0 = execute_cells(&cells, 2, None, Some((0, 2)), &[]);
+        let s1 = execute_cells(&cells, 2, None, Some((1, 2)), &[]);
         assert!(!s0.is_complete(2));
         let merged = ReportSet::merge(vec![s1, s0]).expect("disjoint shards");
         assert_eq!(merged, full);

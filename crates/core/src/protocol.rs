@@ -125,7 +125,7 @@ impl Glr {
     }
 
     /// Folds current radio contacts into the long-term location table.
-    fn absorb_contacts(&mut self, ctx: &Ctx<'_, GlrPacket>) {
+    fn absorb_contacts(&mut self, ctx: &mut Ctx<'_, GlrPacket>) {
         for e in ctx.neighbors() {
             self.locations
                 .update(e.id, LocationEstimate::new(e.pos, e.heard_at));
@@ -149,8 +149,10 @@ impl Glr {
         // worst case is used as the expected displacement.
         let v_max = ctx.config().speed_range.1;
         let range = ctx.config().radio_range;
-        let one_hop: Vec<NodeId> = ctx
-            .neighbors()
+        // One shared snapshot serves both filters (an Arc clone, not a
+        // fresh table materialisation, under the default table backend).
+        let nbrs = ctx.neighbors();
+        let one_hop: Vec<NodeId> = nbrs
             .iter()
             .filter(|e| {
                 let age = (now - e.heard_at).max(0.0);
@@ -160,7 +162,7 @@ impl Glr {
             .collect();
         // Direct contacts with destinations are too precious to filter: a
         // marginal link to the destination is always worth trying.
-        let all_contacts: Vec<NodeId> = ctx.neighbors().iter().map(|e| e.id).collect();
+        let all_contacts: Vec<NodeId> = nbrs.iter().map(|e| e.id).collect();
         self.query_destinations(ctx, &one_hop);
 
         // Expired custody waits: retransmit to the same next hop once (the

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::neighbors::TableBackend;
 use crate::space::IndexBackend;
 use glr_mobility::Region;
 
@@ -64,6 +65,13 @@ pub struct SimConfig {
     /// and the default, [`IndexBackend::LinearScan`] is the reference
     /// implementation.
     pub neighbor_index: IndexBackend,
+    /// Data structure backing the IMEP neighbour tables. Both backends
+    /// are observably identical (bit-identical [`crate::RunStats`] for a
+    /// fixed seed); [`TableBackend::Shared`] interns beacon snapshots and
+    /// merges incrementally — O(1) per beacon reception — and is the
+    /// default, [`TableBackend::CloneMerge`] is the clone-and-merge
+    /// reference implementation.
+    pub neighbor_tables: TableBackend,
     /// RNG seed; runs with equal configuration and seed are identical.
     pub seed: u64,
 }
@@ -89,8 +97,20 @@ impl SimConfig {
             storage_limit: None,
             stats_interval: 1.0,
             neighbor_index: IndexBackend::Grid,
+            neighbor_tables: TableBackend::Shared,
             seed,
         }
+    }
+
+    /// Table 1 configuration scaled to `n` nodes at the paper's node
+    /// density: the deployment region grows with `√n`, so per-node
+    /// neighbourhood sizes (and the paper's contention regime) are
+    /// preserved while the deployment scales to 10k+ nodes.
+    pub fn paper_scaled(n_nodes: usize, radio_range: f64, seed: u64) -> Self {
+        let scale = (n_nodes as f64 / 50.0).sqrt();
+        SimConfig::paper(radio_range, seed)
+            .with_nodes(n_nodes)
+            .with_region(Region::new(1500.0 * scale, 300.0 * scale))
     }
 
     /// Returns the config with a different duration.
@@ -128,6 +148,12 @@ impl SimConfig {
     /// Returns the config with a different spatial-index backend.
     pub fn with_neighbor_index(mut self, backend: IndexBackend) -> Self {
         self.neighbor_index = backend;
+        self
+    }
+
+    /// Returns the config with a different neighbour-table backend.
+    pub fn with_neighbor_tables(mut self, backend: TableBackend) -> Self {
+        self.neighbor_tables = backend;
         self
     }
 
@@ -211,6 +237,19 @@ mod tests {
         assert_eq!(c.storage_limit, Some(100));
         assert_eq!(c.seed, 9);
         c.validate();
+    }
+
+    #[test]
+    fn paper_scaled_preserves_density() {
+        let base = SimConfig::paper(100.0, 0);
+        let big = SimConfig::paper_scaled(5000, 100.0, 0);
+        big.validate();
+        assert_eq!(big.n_nodes, 5000);
+        let d0 = base.n_nodes as f64 / (base.region.width() * base.region.height());
+        let d1 = big.n_nodes as f64 / (big.region.width() * big.region.height());
+        assert!((d0 - d1).abs() < 1e-12);
+        // The strip's 5:1 aspect ratio is preserved.
+        assert!((big.region.width() / big.region.height() - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! |---|---|
 //! | [`mod@sim`] | event sequencing: pops events, advances the clock, dispatches |
 //! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait: [`ContentionMedium`] (default), [`IdealMedium`], [`ShadowingMedium`] |
-//! | [`mod@neighbors`] | IMEP beacon sensing, 1-/2-hop tables with TTL expiry |
+//! | [`mod@neighbors`] | IMEP beacon sensing: `Arc`-interned beacon snapshots and incrementally merged 1-/2-hop tables with TTL expiry ([`TableBackend::Shared`]), plus the clone-and-merge reference ([`TableBackend::CloneMerge`]) |
 //! | [`mod@space`] | proximity queries: grid-indexed ([`SpatialIndex`]) with an exact linear-scan reference backend |
 //! | [`mod@world`] | shared state: clock, trajectories, RNG, statistics |
 //! | [`mod@scenario`] | declarative experiment cells: [`Scenario`] = config + workload + [`MediumKind`] |
@@ -40,10 +40,30 @@
 //! every table in the paper. Whole experiment grids are described as
 //! `Vec<`[`Scenario`]`>` and executed by [`Sweep`], whose `(cell, run)`
 //! work queue fans out across threads — and, via [`Sweep::with_shard`]
-//! plus [`ReportSet::merge`], across machines. Runs are pure functions
-//! of `(config, workload, protocol, seed)`: the same seed gives
-//! bit-identical [`RunStats`] under either spatial-index backend, any
-//! thread count, any shard split, and any conforming medium.
+//! plus [`ReportSet::merge`], across machines; [`Sweep::skipping`]
+//! resumes an interrupted run from the cells already present in its
+//! partial report. Runs are pure functions of
+//! `(config, workload, protocol, seed)`: the same seed gives
+//! bit-identical [`RunStats`] under either spatial-index backend,
+//! either neighbour-table backend, any thread count, any shard split,
+//! and any conforming medium.
+//!
+//! # Scaling to 10k+ nodes
+//!
+//! Two hot paths get sublinear backends, each validated bit-for-bit
+//! against a straightforward reference implementation:
+//!
+//! * proximity queries — [`IndexBackend::Grid`] vs
+//!   [`IndexBackend::LinearScan`] (`tests/grid_equivalence.rs`);
+//! * the beacon/neighbour layer — [`TableBackend::Shared`] (one
+//!   `Arc`-interned snapshot per beacon shared by all receivers,
+//!   incremental keyed merges, lazy staleness sweeping, cached
+//!   [`Ctx::neighbors`]/[`Ctx::local_view`]) vs
+//!   [`TableBackend::CloneMerge`] (`tests/table_equivalence.rs`).
+//!
+//! [`Scenario::large_n_tier`] builds a ready-made 10k-node preset —
+//! paper density via [`SimConfig::paper_scaled`], one cell per built-in
+//! medium; `examples/large_n.rs` runs it and CI smokes it on every push.
 //!
 //! # Example
 //!
@@ -106,7 +126,9 @@ pub use medium::{
     ContentionMedium, Frame, IdealMedium, Medium, PacketKind, QueueFull, ShadowingMedium,
     ShadowingParams, TxResolution, SHADOWING_FADE_LOSS,
 };
-pub use neighbors::NeighborEntry;
+pub use neighbors::{
+    BeaconSnapshot, NeighborEntry, NeighborTables, NeighborsIter, NeighborsView, TableBackend,
+};
 pub use report::{CellReport, ReportSet, RunMetrics};
 pub use runner::MultiRun;
 pub use scenario::{MediumKind, Scenario, WorkloadSpec};

@@ -7,11 +7,88 @@
 //! therefore *stale by design*, exactly as in the paper: positions are
 //! as of each neighbour's last beacon, and departures are only noticed
 //! when the TTL lapses.
+//!
+//! # Backends
+//!
+//! Two implementations sit behind [`NeighborTables`], selected by
+//! [`TableBackend`] (mirroring the [`crate::SpatialIndex`] grid /
+//! linear-scan pair):
+//!
+//! * [`TableBackend::Shared`] (the default) is built for 10k+-node
+//!   deployments. A beacon's 1-hop snapshot is materialised **once** per
+//!   beacon event behind an `Arc` ([`BeaconSnapshot`]) and shared by
+//!   every receiver; [`NeighborTables::record_beacon`] stores the `Arc`
+//!   keyed by sender — amortised O(1) per reception — instead of merging
+//!   the snapshot entry-by-entry into a linearly-scanned 2-hop `Vec`.
+//!   1-hop upserts go through a hash index, expiry is swept lazily
+//!   (amortised, never a per-beacon full-table rebuild), and the
+//!   protocol-facing views ([`NeighborsView`]) are `Arc`-backed and
+//!   cached per `(node, time, generation)`, so repeated
+//!   [`crate::Ctx::neighbors`] / [`crate::Ctx::local_view`] calls within
+//!   one event are allocation-free.
+//! * [`TableBackend::CloneMerge`] is the original clone-and-merge
+//!   implementation, kept as the behavioural reference the shared
+//!   backend is validated against (`tests/table_equivalence.rs`).
+//!
+//! Both backends are **observably identical**: for any fixed seed a full
+//! simulation produces bit-identical [`crate::RunStats`] under either.
+//! The equivalence hinges on two invariants the engine maintains:
+//!
+//! 1. *Deterministic entries*: every entry recorded for node `x` with
+//!    `heard_at = t` carries `x`'s true position at `t`, so freshest-wins
+//!    ties can never disagree on the winning value.
+//! 2. *Monotone snapshots*: an id missing from a sender's newer beacon
+//!    snapshot was expired from the sender's table, hence (same TTL) is
+//!    expired for every receiver too — so keeping only the latest
+//!    snapshot per sender loses nothing a fresh query could see.
 
 use crate::ids::NodeId;
 use crate::time::SimTime;
 use glr_geometry::Point2;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
+
+/// Multiply-xorshift hasher for [`NodeId`] keys on the beacon hot path.
+///
+/// Node ids are small dense integers from a trusted source, so SipHash's
+/// DoS resistance buys nothing here and costs most of a
+/// `record_beacon`'s budget. Iteration order of the maps this backs is
+/// never observable (outputs are sorted or keyed), so the hasher choice
+/// cannot affect results.
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeIdHasher(u64);
+
+impl Hasher for NodeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        let h = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct BuildNodeIdHasher;
+
+impl BuildHasher for BuildNodeIdHasher {
+    type Hasher = NodeIdHasher;
+    fn build_hasher(&self) -> NodeIdHasher {
+        NodeIdHasher(0)
+    }
+}
+
+/// A `NodeId`-keyed hash map with the cheap hasher above.
+type NodeMap<V> = HashMap<NodeId, V, BuildNodeIdHasher>;
 
 /// A neighbour-table entry: where a node was when we last heard it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,18 +101,485 @@ pub struct NeighborEntry {
     pub heard_at: SimTime,
 }
 
-/// All nodes' 1-hop and 2-hop neighbour tables.
+/// Which data structure backs the neighbour tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableBackend {
+    /// `Arc`-interned beacon snapshots, hash-indexed 1-hop tables,
+    /// amortised staleness sweeping — O(1) per beacon reception. The
+    /// default.
+    #[default]
+    Shared,
+    /// The original clone-and-merge tables: every reception deep-merges
+    /// the snapshot into `Vec`-scanned 1-/2-hop tables. Kept as the
+    /// reference implementation the shared backend is validated against.
+    CloneMerge,
+}
+
+impl TableBackend {
+    /// A short stable name (`"shared"` / `"clone-merge"`) for labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableBackend::Shared => "shared",
+            TableBackend::CloneMerge => "clone-merge",
+        }
+    }
+}
+
+/// A cheap, immutable, shareable view of neighbour entries.
+///
+/// Dereferences to `[NeighborEntry]` and iterates by value like the
+/// `Vec<NeighborEntry>` it replaced, but cloning is an `Arc` bump: the
+/// shared backend hands the same allocation to every caller asking for
+/// the same node's view at the same time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborsView {
+    entries: Arc<[NeighborEntry]>,
+}
+
+impl NeighborsView {
+    /// Iterates the entries by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, NeighborEntry> {
+        self.entries.iter()
+    }
+}
+
+impl From<Vec<NeighborEntry>> for NeighborsView {
+    fn from(v: Vec<NeighborEntry>) -> Self {
+        NeighborsView { entries: v.into() }
+    }
+}
+
+impl std::ops::Deref for NeighborsView {
+    type Target = [NeighborEntry];
+    fn deref(&self) -> &[NeighborEntry] {
+        &self.entries
+    }
+}
+
+/// Owning iterator over a [`NeighborsView`]; yields entries by value,
+/// exactly like iterating an owned `Vec<NeighborEntry>`.
 #[derive(Debug)]
-pub(crate) struct NeighborTables {
+pub struct NeighborsIter {
+    entries: Arc<[NeighborEntry]>,
+    at: usize,
+}
+
+impl Iterator for NeighborsIter {
+    type Item = NeighborEntry;
+
+    fn next(&mut self) -> Option<NeighborEntry> {
+        let e = self.entries.get(self.at).copied();
+        self.at += 1;
+        e
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.entries.len().saturating_sub(self.at);
+        (n, Some(n))
+    }
+}
+
+impl IntoIterator for NeighborsView {
+    type Item = NeighborEntry;
+    type IntoIter = NeighborsIter;
+    fn into_iter(self) -> NeighborsIter {
+        NeighborsIter {
+            entries: self.entries,
+            at: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborsView {
+    type Item = &'a NeighborEntry;
+    type IntoIter = std::slice::Iter<'a, NeighborEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// One beacon's payload: the sender's fresh 1-hop table, materialised
+/// once per beacon event and shared (`Arc`) by every receiver.
+#[derive(Debug, Clone)]
+pub struct BeaconSnapshot {
+    entries: Arc<[NeighborEntry]>,
+    /// Freshest `heard_at` in `entries`, in seconds
+    /// (`f64::NEG_INFINITY` when empty). Once this falls behind the TTL
+    /// horizon the whole snapshot is expired and can be dropped.
+    max_heard: f64,
+}
+
+impl BeaconSnapshot {
+    fn new(entries: Arc<[NeighborEntry]>) -> Self {
+        let max_heard = entries
+            .iter()
+            .map(|e| e.heard_at.as_secs())
+            .fold(f64::NEG_INFINITY, f64::max);
+        BeaconSnapshot { entries, max_heard }
+    }
+
+    /// Builds a snapshot from explicit entries (tests and benches; the
+    /// engine obtains snapshots from [`NeighborTables::beacon_snapshot`]).
+    pub fn from_entries(entries: &[NeighborEntry]) -> Self {
+        BeaconSnapshot::new(entries.into())
+    }
+
+    /// The snapshot's entries.
+    pub fn entries(&self) -> &[NeighborEntry] {
+        &self.entries
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+/// All nodes' 1-hop and 2-hop neighbour tables, behind a selectable
+/// [`TableBackend`].
+///
+/// # Examples
+///
+/// ```
+/// use glr_sim::{BeaconSnapshot, NeighborEntry, NeighborTables, NodeId, SimTime, TableBackend};
+/// use glr_geometry::Point2;
+///
+/// let mut t = NeighborTables::new(3, 2.5, TableBackend::Shared);
+/// let now = SimTime::from_secs(1.0);
+/// let sender = NeighborEntry { id: NodeId(0), pos: Point2::new(0.0, 0.0), heard_at: now };
+/// let snap = BeaconSnapshot::from_entries(&[]);
+/// t.record_beacon(NodeId(1), sender, &snap, now);
+/// assert_eq!(t.fresh_one_hop(NodeId(1), now).len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct NeighborTables {
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Shared(SharedTables),
+    CloneMerge(CloneTables),
+}
+
+impl NeighborTables {
+    /// Creates empty tables for `n_nodes` nodes with the given entry TTL
+    /// (seconds) over the chosen backend.
+    pub fn new(n_nodes: usize, ttl: f64, backend: TableBackend) -> Self {
+        let backend = match backend {
+            TableBackend::Shared => Backend::Shared(SharedTables::new(n_nodes, ttl)),
+            TableBackend::CloneMerge => Backend::CloneMerge(CloneTables::new(n_nodes, ttl)),
+        };
+        NeighborTables { backend }
+    }
+
+    /// The beacon payload for `u` at `now`: its fresh 1-hop table,
+    /// materialised once and shared by all receivers of the beacon.
+    pub fn beacon_snapshot(&mut self, u: NodeId, now: SimTime) -> BeaconSnapshot {
+        match &mut self.backend {
+            Backend::Shared(t) => t.snapshot(u, now),
+            Backend::CloneMerge(t) => BeaconSnapshot::new(t.fresh_one_hop(u, now).into()),
+        }
+    }
+
+    /// Fresh (non-expired) one-hop entries for `u` at `now`, in table
+    /// order.
+    pub fn fresh_one_hop(&mut self, u: NodeId, now: SimTime) -> NeighborsView {
+        match &mut self.backend {
+            Backend::Shared(t) => NeighborsView {
+                entries: t.snapshot(u, now).entries,
+            },
+            Backend::CloneMerge(t) => t.fresh_one_hop(u, now).into(),
+        }
+    }
+
+    /// Fresh merged 1- and 2-hop entries for `u` — the "distance two
+    /// neighbourhood information" the paper's nodes collect to build the
+    /// LDTG. Excludes `u` itself; the freshest entry per id wins; sorted
+    /// by id.
+    pub fn fresh_view(&mut self, u: NodeId, now: SimTime) -> NeighborsView {
+        match &mut self.backend {
+            Backend::Shared(t) => t.fresh_view(u, now),
+            Backend::CloneMerge(t) => t.fresh_view(u, now).into(),
+        }
+    }
+
+    /// Records that `receiver` heard `sender`'s beacon carrying
+    /// `snapshot` (the sender's fresh 1-hop table). Merges the sender
+    /// into the receiver's 1-hop table and the snapshot into its 2-hop
+    /// knowledge, and expires old entries. Returns whether the sender
+    /// was already a *fresh* 1-hop neighbour before the beacon (`false`
+    /// means this is a new radio contact).
+    ///
+    /// Entries handed to the tables must be *deterministic*: two entries
+    /// for the same `(id, heard_at)` must be identical (the engine
+    /// guarantees this — an entry always carries the node's true
+    /// position at `heard_at`). The backends may otherwise disagree on
+    /// freshest-wins ties.
+    pub fn record_beacon(
+        &mut self,
+        receiver: NodeId,
+        sender: NeighborEntry,
+        snapshot: &BeaconSnapshot,
+        now: SimTime,
+    ) -> bool {
+        match &mut self.backend {
+            Backend::Shared(t) => t.record_beacon(receiver, sender, snapshot, now),
+            Backend::CloneMerge(t) => t.record_beacon(receiver, sender, snapshot.entries(), now),
+        }
+    }
+
+    /// Records that `receiver` heard a (data or control) frame from the
+    /// node described by `entry`: hearing any frame refreshes the
+    /// receiver's 1-hop entry for the sender — data exchange doubles as
+    /// location exchange, as in the paper's IMEP adaptation.
+    pub fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
+        match &mut self.backend {
+            Backend::Shared(t) => t.heard_frame(receiver, entry),
+            Backend::CloneMerge(t) => t.heard_frame(receiver, entry),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared backend
+// ---------------------------------------------------------------------------
+
+/// Sweep a node's table once this many mutations have accumulated (and
+/// at least as many as the table holds) — classic amortisation, so no
+/// single beacon reception pays for a full-table rebuild.
+const MIN_SWEEP_OPS: usize = 32;
+
+#[derive(Debug)]
+struct SharedTables {
+    nodes: Vec<NodeTable>,
+    ttl: f64,
+    /// Reusable freshest-wins merge buffer for [`SharedTables::fresh_view`].
+    scratch: NodeMap<NeighborEntry>,
+    /// Reusable staging buffer for snapshot materialisation, so a beacon
+    /// costs exactly one allocation (the shared `Arc`).
+    snap_scratch: Vec<NeighborEntry>,
+}
+
+#[derive(Debug, Default)]
+struct NodeTable {
+    /// 1-hop entries in *revival order* (the order the reference backend
+    /// keeps physically): live entries plus trailing zombies/orphans
+    /// that are swept out lazily and can never surface in a fresh view.
+    order: Vec<NeighborEntry>,
+    /// id → current slot in `order`.
+    index: NodeMap<usize>,
+    /// Latest beacon snapshot per 1-hop sender (the node's 2-hop
+    /// knowledge). An `Arc` clone of the sender-side materialisation.
+    snaps: NodeMap<BeaconSnapshot>,
+    /// TTL horizon (seconds) of the most recent `record_beacon` — the
+    /// moment the reference backend last garbage-collected this node's
+    /// tables. Entries older than this are "zombies": physically present
+    /// in `order` but observably deleted.
+    gc_horizon: f64,
+    /// Mutations since the last physical sweep.
+    ops: usize,
+    /// Bumped on every mutation; keys the view caches.
+    gen: u64,
+    one_cache: Option<(SimTime, u64, BeaconSnapshot)>,
+    view_cache: Option<(SimTime, u64, NeighborsView)>,
+}
+
+impl NodeTable {
+    fn new() -> Self {
+        NodeTable {
+            gc_horizon: f64::NEG_INFINITY,
+            ..NodeTable::default()
+        }
+    }
+
+    /// Freshest-wins upsert with the reference backend's placement
+    /// semantics: live entries update in place (keeping their slot),
+    /// zombies — entries the reference physically removed at the last
+    /// beacon GC — re-append at the end like any new contact.
+    fn upsert(&mut self, entry: NeighborEntry) {
+        self.gen += 1;
+        self.ops += 1;
+        match self.index.get(&entry.id).copied() {
+            Some(i) if self.order[i].heard_at.as_secs() >= self.gc_horizon => {
+                if entry.heard_at >= self.order[i].heard_at {
+                    self.order[i] = entry;
+                }
+            }
+            Some(_zombie) => {
+                // The stale slot stays behind as an orphan until the next
+                // sweep; it can never surface (its heard_at is below every
+                // future query horizon).
+                self.index.insert(entry.id, self.order.len());
+                self.order.push(entry);
+            }
+            None => {
+                self.index.insert(entry.id, self.order.len());
+                self.order.push(entry);
+            }
+        }
+    }
+
+    /// Physically removes zombies, orphans and expired snapshots once
+    /// enough mutations have amortised the cost. Unobservable: it drops
+    /// only entries no fresh query could return.
+    fn maybe_sweep(&mut self) {
+        if self.ops < MIN_SWEEP_OPS.max(self.order.len()) {
+            return;
+        }
+        self.ops = 0;
+        let horizon = self.gc_horizon;
+        let mut kept = 0;
+        for i in 0..self.order.len() {
+            let e = self.order[i];
+            let current = self.index.get(&e.id) == Some(&i);
+            if current && e.heard_at.as_secs() >= horizon {
+                self.order[kept] = e;
+                self.index.insert(e.id, kept);
+                kept += 1;
+            } else if current {
+                self.index.remove(&e.id);
+            }
+        }
+        self.order.truncate(kept);
+        self.snaps.retain(|_, s| s.max_heard >= horizon);
+    }
+}
+
+impl SharedTables {
+    fn new(n_nodes: usize, ttl: f64) -> Self {
+        SharedTables {
+            nodes: (0..n_nodes).map(|_| NodeTable::new()).collect(),
+            ttl,
+            scratch: NodeMap::default(),
+            snap_scratch: Vec::new(),
+        }
+    }
+
+    fn snapshot(&mut self, u: NodeId, now: SimTime) -> BeaconSnapshot {
+        let SharedTables {
+            nodes,
+            ttl,
+            snap_scratch,
+            ..
+        } = self;
+        let t = &mut nodes[u.index()];
+        if let Some((at, gen, snap)) = &t.one_cache {
+            if *at == now && *gen == t.gen {
+                return snap.clone();
+            }
+        }
+        let horizon = now.as_secs() - *ttl;
+        snap_scratch.clear();
+        snap_scratch.extend(
+            t.order
+                .iter()
+                .filter(|e| e.heard_at.as_secs() >= horizon)
+                .copied(),
+        );
+        let snap = BeaconSnapshot::new(Arc::from(&snap_scratch[..]));
+        t.one_cache = Some((now, t.gen, snap.clone()));
+        snap
+    }
+
+    fn fresh_view(&mut self, u: NodeId, now: SimTime) -> NeighborsView {
+        let t = &mut self.nodes[u.index()];
+        if let Some((at, gen, view)) = &t.view_cache {
+            if *at == now && *gen == t.gen {
+                return view.clone();
+            }
+        }
+        let horizon = now.as_secs() - self.ttl;
+        let best = &mut self.scratch;
+        best.clear();
+        let mut merge = |e: &NeighborEntry| {
+            if e.heard_at.as_secs() < horizon || e.id == u {
+                return;
+            }
+            match best.get(&e.id) {
+                Some(cur) if cur.heard_at >= e.heard_at => {}
+                _ => {
+                    best.insert(e.id, *e);
+                }
+            }
+        };
+        for e in &t.order {
+            merge(e);
+        }
+        for snap in t.snaps.values() {
+            if snap.max_heard < horizon {
+                continue;
+            }
+            for e in snap.entries.iter() {
+                merge(e);
+            }
+        }
+        let mut out: Vec<NeighborEntry> = best.values().copied().collect();
+        out.sort_by_key(|e| e.id);
+        let view = NeighborsView::from(out);
+        t.view_cache = Some((now, t.gen, view.clone()));
+        view
+    }
+
+    fn record_beacon(
+        &mut self,
+        receiver: NodeId,
+        sender: NeighborEntry,
+        snapshot: &BeaconSnapshot,
+        now: SimTime,
+    ) -> bool {
+        let horizon = now.as_secs() - self.ttl;
+        let t = &mut self.nodes[receiver.index()];
+        // One index lookup serves both the freshness test and the upsert.
+        let slot = t.index.get(&sender.id).copied();
+        let was_fresh = slot.is_some_and(|i| t.order[i].heard_at.as_secs() >= horizon);
+        match slot {
+            // Live: freshest-wins in place, keeping the slot.
+            Some(i) if t.order[i].heard_at.as_secs() >= t.gc_horizon => {
+                if sender.heard_at >= t.order[i].heard_at {
+                    t.order[i] = sender;
+                }
+            }
+            // Zombie (observably GC'd) or absent: (re-)append at the end,
+            // like the reference after its physical removal.
+            _ => {
+                t.index.insert(sender.id, t.order.len());
+                t.order.push(sender);
+            }
+        }
+        t.snaps.insert(sender.id, snapshot.clone());
+        // This is the reference backend's GC moment: from here on,
+        // anything older than `horizon` is observably deleted.
+        t.gc_horizon = t.gc_horizon.max(horizon);
+        t.gen += 1;
+        t.ops += 1;
+        t.maybe_sweep();
+        was_fresh
+    }
+
+    fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
+        let t = &mut self.nodes[receiver.index()];
+        t.upsert(entry);
+        t.maybe_sweep();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clone-merge reference backend
+// ---------------------------------------------------------------------------
+
+/// The original clone-and-merge implementation: `Vec`-scanned tables,
+/// per-reception entry-by-entry merges and eager expiry.
+#[derive(Debug)]
+struct CloneTables {
     one_hop: Vec<Vec<NeighborEntry>>,
     two_hop: Vec<Vec<NeighborEntry>>,
     /// Entries older than this many seconds are considered gone.
     ttl: f64,
 }
 
-impl NeighborTables {
-    pub(crate) fn new(n_nodes: usize, ttl: f64) -> Self {
-        NeighborTables {
+impl CloneTables {
+    fn new(n_nodes: usize, ttl: f64) -> Self {
+        CloneTables {
             one_hop: vec![Vec::new(); n_nodes],
             two_hop: vec![Vec::new(); n_nodes],
             ttl,
@@ -57,9 +601,7 @@ impl NeighborTables {
         }
     }
 
-    /// Fresh (non-expired) one-hop entries for `u` at `now`, in table
-    /// order.
-    pub(crate) fn fresh_one_hop(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
+    fn fresh_one_hop(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
         let horizon = self.horizon(now);
         self.one_hop[u.index()]
             .iter()
@@ -68,11 +610,7 @@ impl NeighborTables {
             .collect()
     }
 
-    /// Fresh merged 1- and 2-hop entries for `u` — the "distance two
-    /// neighbourhood information" the paper's nodes collect to build the
-    /// LDTG. Excludes `u` itself; the freshest entry per id wins; sorted
-    /// by id.
-    pub(crate) fn fresh_view(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
+    fn fresh_view(&self, u: NodeId, now: SimTime) -> Vec<NeighborEntry> {
         let horizon = self.horizon(now);
         let mut best: HashMap<NodeId, NeighborEntry> = Default::default();
         for e in self.one_hop[u.index()]
@@ -94,13 +632,7 @@ impl NeighborTables {
         out
     }
 
-    /// Records that `receiver` heard `sender`'s beacon carrying
-    /// `snapshot` (the sender's fresh 1-hop table). Merges the sender
-    /// into the receiver's 1-hop table, the snapshot into its 2-hop
-    /// table, and garbage-collects expired entries. Returns whether the
-    /// sender was already a *fresh* 1-hop neighbour before the beacon
-    /// (`false` means this is a new radio contact).
-    pub(crate) fn record_beacon(
+    fn record_beacon(
         &mut self,
         receiver: NodeId,
         sender: NeighborEntry,
@@ -118,17 +650,13 @@ impl NeighborTables {
                 Self::upsert(&mut self.two_hop[vi], *e);
             }
         }
-        // Garbage-collect expired entries occasionally to bound memory.
+        // Garbage-collect expired entries to bound memory.
         self.one_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
         self.two_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
         was_fresh
     }
 
-    /// Records that `receiver` heard a (data or control) frame from the
-    /// node described by `entry`: hearing any frame refreshes the
-    /// receiver's 1-hop entry for the sender — data exchange doubles as
-    /// location exchange, as in the paper's IMEP adaptation.
-    pub(crate) fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
+    fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
         Self::upsert(&mut self.one_hop[receiver.index()], entry);
     }
 }
@@ -137,66 +665,239 @@ impl NeighborTables {
 mod tests {
     use super::*;
 
+    const BACKENDS: [TableBackend; 2] = [TableBackend::Shared, TableBackend::CloneMerge];
+
     fn entry(id: u32, at: f64) -> NeighborEntry {
         NeighborEntry {
             id: NodeId(id),
-            pos: Point2::new(id as f64, 0.0),
+            pos: Point2::new(id as f64, at),
             heard_at: SimTime::from_secs(at),
         }
     }
 
+    fn snap(entries: &[NeighborEntry]) -> BeaconSnapshot {
+        BeaconSnapshot::from_entries(entries)
+    }
+
     #[test]
     fn beacons_fill_tables_and_expire() {
-        let mut t = NeighborTables::new(3, 2.5);
-        let now = SimTime::from_secs(10.0);
-        let fresh = t.record_beacon(NodeId(1), entry(0, 10.0), &[entry(2, 9.5)], now);
-        assert!(!fresh, "first contact must not be fresh");
-        assert_eq!(t.fresh_one_hop(NodeId(1), now).len(), 1);
-        assert_eq!(t.fresh_view(NodeId(1), now).len(), 2);
-        // Second beacon inside the TTL: already fresh.
-        let now2 = SimTime::from_secs(11.0);
-        assert!(t.record_beacon(NodeId(1), entry(0, 11.0), &[], now2));
-        // Long silence: entries expire.
-        let later = SimTime::from_secs(20.0);
-        assert!(t.fresh_one_hop(NodeId(1), later).is_empty());
-        assert!(!t.record_beacon(NodeId(1), entry(0, 20.0), &[], later));
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(3, 2.5, backend);
+            let now = SimTime::from_secs(10.0);
+            let fresh = t.record_beacon(NodeId(1), entry(0, 10.0), &snap(&[entry(2, 9.5)]), now);
+            assert!(!fresh, "first contact must not be fresh ({backend:?})");
+            assert_eq!(t.fresh_one_hop(NodeId(1), now).len(), 1);
+            assert_eq!(t.fresh_view(NodeId(1), now).len(), 2);
+            // Second beacon inside the TTL: already fresh.
+            let now2 = SimTime::from_secs(11.0);
+            assert!(t.record_beacon(NodeId(1), entry(0, 11.0), &snap(&[]), now2));
+            // Long silence: entries expire.
+            let later = SimTime::from_secs(20.0);
+            assert!(t.fresh_one_hop(NodeId(1), later).is_empty());
+            assert!(!t.record_beacon(NodeId(1), entry(0, 20.0), &snap(&[]), later));
+        }
     }
 
     #[test]
     fn fresh_view_dedups_freshest_wins() {
-        let mut t = NeighborTables::new(3, 100.0);
-        let now = SimTime::from_secs(10.0);
-        // Node 2 known both directly (older) and via the snapshot (newer).
-        t.record_beacon(NodeId(0), entry(2, 5.0), &[], now);
-        t.record_beacon(NodeId(0), entry(1, 9.0), &[entry(2, 8.0)], now);
-        let view = t.fresh_view(NodeId(0), now);
-        assert_eq!(view.len(), 2);
-        let e2 = view.iter().find(|e| e.id == NodeId(2)).unwrap();
-        assert_eq!(e2.heard_at, SimTime::from_secs(8.0));
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(3, 100.0, backend);
+            let now = SimTime::from_secs(10.0);
+            // Node 2 known both directly (older) and via the snapshot (newer).
+            t.record_beacon(NodeId(0), entry(2, 5.0), &snap(&[]), now);
+            t.record_beacon(NodeId(0), entry(1, 9.0), &snap(&[entry(2, 8.0)]), now);
+            let view = t.fresh_view(NodeId(0), now);
+            assert_eq!(view.len(), 2);
+            let e2 = view.iter().find(|e| e.id == NodeId(2)).unwrap();
+            assert_eq!(e2.heard_at, SimTime::from_secs(8.0), "{backend:?}");
+        }
     }
 
     #[test]
     fn snapshot_skips_the_receiver_itself() {
-        let mut t = NeighborTables::new(2, 100.0);
-        let now = SimTime::from_secs(1.0);
-        t.record_beacon(NodeId(1), entry(0, 1.0), &[entry(1, 0.5)], now);
-        assert!(t
-            .fresh_view(NodeId(1), now)
-            .iter()
-            .all(|e| e.id != NodeId(1)));
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(2, 100.0, backend);
+            let now = SimTime::from_secs(1.0);
+            t.record_beacon(NodeId(1), entry(0, 1.0), &snap(&[entry(1, 0.5)]), now);
+            assert!(t
+                .fresh_view(NodeId(1), now)
+                .iter()
+                .all(|e| e.id != NodeId(1)));
+        }
     }
 
     #[test]
     fn heard_frame_refreshes_without_gc() {
-        let mut t = NeighborTables::new(2, 2.5);
-        t.heard_frame(NodeId(1), entry(0, 1.0));
-        t.heard_frame(NodeId(1), entry(0, 2.0));
-        let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].heard_at, SimTime::from_secs(2.0));
-        // Stale upsert does not regress the entry.
-        t.heard_frame(NodeId(1), entry(0, 1.5));
-        let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
-        assert_eq!(got[0].heard_at, SimTime::from_secs(2.0));
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(2, 2.5, backend);
+            t.heard_frame(NodeId(1), entry(0, 1.0));
+            t.heard_frame(NodeId(1), entry(0, 2.0));
+            let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].heard_at, SimTime::from_secs(2.0));
+            // Stale upsert does not regress the entry.
+            t.heard_frame(NodeId(1), entry(0, 1.5));
+            let got = t.fresh_one_hop(NodeId(1), SimTime::from_secs(2.0));
+            assert_eq!(got[0].heard_at, SimTime::from_secs(2.0), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn beacon_snapshot_is_shared_not_copied() {
+        let mut t = NeighborTables::new(4, 100.0, TableBackend::Shared);
+        let now = SimTime::from_secs(5.0);
+        t.record_beacon(NodeId(0), entry(2, 4.0), &snap(&[]), now);
+        let s = t.beacon_snapshot(NodeId(0), now);
+        // Cached: a second ask at the same time is the same allocation.
+        let s2 = t.beacon_snapshot(NodeId(0), now);
+        assert!(Arc::ptr_eq(&s.entries, &s2.entries));
+        // Receivers of the beacon share it too: record it at two nodes
+        // and confirm both 2-hop views see the carried entry.
+        t.record_beacon(NodeId(1), entry(0, 5.0), &s, now);
+        t.record_beacon(NodeId(3), entry(0, 5.0), &s, now);
+        for v in [NodeId(1), NodeId(3)] {
+            assert!(t.fresh_view(v, now).iter().any(|e| e.id == NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn views_are_cached_per_time_and_invalidated_on_mutation() {
+        let mut t = NeighborTables::new(3, 100.0, TableBackend::Shared);
+        let now = SimTime::from_secs(1.0);
+        t.record_beacon(NodeId(1), entry(0, 1.0), &snap(&[entry(2, 0.5)]), now);
+        let a = t.fresh_view(NodeId(1), now);
+        let b = t.fresh_view(NodeId(1), now);
+        assert!(
+            Arc::ptr_eq(&a.entries, &b.entries),
+            "same (time, gen) must hit the cache"
+        );
+        // A mutation invalidates.
+        t.record_beacon(NodeId(1), entry(2, 1.5), &snap(&[]), now);
+        let c = t.fresh_view(NodeId(1), now);
+        assert!(!Arc::ptr_eq(&a.entries, &c.entries));
+        assert_eq!(
+            c.iter().find(|e| e.id == NodeId(2)).unwrap().heard_at,
+            SimTime::from_secs(1.5)
+        );
+    }
+
+    /// The lazy sweep must reproduce the reference's *placement* of
+    /// revived entries: once an entry has been observably GC'd (a beacon
+    /// arrived after it expired), a re-contact appends at the end.
+    #[test]
+    fn revived_contact_reorders_like_the_reference() {
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(4, 2.5, backend);
+            // Contacts 1 then 2.
+            t.record_beacon(
+                NodeId(0),
+                entry(1, 1.0),
+                &snap(&[]),
+                SimTime::from_secs(1.0),
+            );
+            t.record_beacon(
+                NodeId(0),
+                entry(2, 2.0),
+                &snap(&[]),
+                SimTime::from_secs(2.0),
+            );
+            // Node 1 goes silent; a beacon from 2 at t=5 GCs it (1.0 < 5-2.5).
+            t.record_beacon(
+                NodeId(0),
+                entry(2, 5.0),
+                &snap(&[]),
+                SimTime::from_secs(5.0),
+            );
+            // Node 1 returns: it must now list AFTER node 2.
+            t.record_beacon(
+                NodeId(0),
+                entry(1, 6.0),
+                &snap(&[]),
+                SimTime::from_secs(6.0),
+            );
+            let ids: Vec<NodeId> = t
+                .fresh_one_hop(NodeId(0), SimTime::from_secs(6.0))
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            assert_eq!(ids, vec![NodeId(2), NodeId(1)], "{backend:?}");
+        }
+    }
+
+    /// Without an intervening beacon GC, a stale entry that refreshes
+    /// keeps its original slot — in both backends.
+    #[test]
+    fn stale_refresh_without_gc_keeps_position() {
+        for backend in BACKENDS {
+            let mut t = NeighborTables::new(4, 2.5, backend);
+            t.record_beacon(
+                NodeId(0),
+                entry(1, 1.0),
+                &snap(&[]),
+                SimTime::from_secs(1.0),
+            );
+            t.record_beacon(
+                NodeId(0),
+                entry(2, 1.5),
+                &snap(&[]),
+                SimTime::from_secs(1.5),
+            );
+            // Node 1's entry is stale at t=6 but no beacon GC'd it;
+            // a data frame refreshes it in place.
+            t.heard_frame(NodeId(0), entry(1, 6.0));
+            t.heard_frame(NodeId(0), entry(2, 6.0));
+            let ids: Vec<NodeId> = t
+                .fresh_one_hop(NodeId(0), SimTime::from_secs(6.0))
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            assert_eq!(ids, vec![NodeId(1), NodeId(2)], "{backend:?}");
+        }
+    }
+
+    /// Long random-ish op sequences keep the shared backend's lazily
+    /// swept tables identical to the eager reference.
+    #[test]
+    fn sweeping_is_unobservable_under_churn() {
+        let mut shared = NeighborTables::new(8, 2.5, TableBackend::Shared);
+        let mut reference = NeighborTables::new(8, 2.5, TableBackend::CloneMerge);
+        let mut t = 0.0f64;
+        for step in 0u32..600 {
+            t += 0.1 + (step % 7) as f64 * 0.05;
+            let now = SimTime::from_secs(t);
+            let sender = step % 5;
+            let receiver = (step / 5) % 8;
+            if sender == receiver {
+                continue;
+            }
+            // Snapshot comes from the sender's own table, like the engine.
+            let ss = shared.beacon_snapshot(NodeId(sender), now);
+            let rs = reference.beacon_snapshot(NodeId(sender), now);
+            assert_eq!(
+                ss.entries(),
+                rs.entries(),
+                "snapshots diverged at step {step}"
+            );
+            let e = entry(sender, t);
+            let a = shared.record_beacon(NodeId(receiver), e, &ss, now);
+            let b = reference.record_beacon(NodeId(receiver), e, &rs, now);
+            assert_eq!(a, b, "was_fresh diverged at step {step}");
+            if step % 3 == 0 {
+                shared.heard_frame(NodeId(receiver), e);
+                reference.heard_frame(NodeId(receiver), e);
+            }
+            for u in 0..8u32 {
+                assert_eq!(
+                    &*shared.fresh_one_hop(NodeId(u), now),
+                    &*reference.fresh_one_hop(NodeId(u), now),
+                    "one-hop diverged at step {step} node {u}"
+                );
+                assert_eq!(
+                    &*shared.fresh_view(NodeId(u), now),
+                    &*reference.fresh_view(NodeId(u), now),
+                    "view diverged at step {step} node {u}"
+                );
+            }
+        }
     }
 }

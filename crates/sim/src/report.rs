@@ -291,6 +291,13 @@ impl ReportSet {
         self.cells.len() == n_cells && self.cells.iter().enumerate().all(|(i, c)| c.cell == i)
     }
 
+    /// The global indices of the cells this (possibly partial) set
+    /// contains — the list to hand to [`crate::Sweep::skipping`] when
+    /// resuming an interrupted run from its JSON output.
+    pub fn completed_cells(&self) -> Vec<usize> {
+        self.cells.iter().map(|c| c.cell).collect()
+    }
+
     /// Serialises the set as JSON (deterministic byte-for-byte for equal
     /// contents: sorted counters, shortest-round-trip floats).
     pub fn to_json(&self) -> String {

@@ -180,6 +180,43 @@ impl Scenario {
         }
     }
 
+    /// The large-`n` preset tier: one scenario per built-in medium
+    /// ([`MediumKind::Contention`], [`MediumKind::Ideal`],
+    /// [`MediumKind::Shadowing`]) at `n_nodes` nodes and the paper's node
+    /// density ([`SimConfig::paper_scaled`]: the region grows with `√n`),
+    /// running for `duration` simulated seconds with paper-style traffic
+    /// of one message per 50 nodes.
+    ///
+    /// This is the tier that exercises the beacon hot path — interned
+    /// snapshots and incremental two-hop merges — at 10k+ nodes; the CI
+    /// smoke runs it short, benches run it longer. Tune individual cells
+    /// afterwards via the public fields or the builder methods.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glr_sim::Scenario;
+    ///
+    /// let tier = Scenario::large_n_tier(10_000, 5.0, 1);
+    /// assert_eq!(tier.len(), 3);
+    /// assert!(tier.iter().all(|s| s.config.n_nodes == 10_000));
+    /// ```
+    pub fn large_n_tier(n_nodes: usize, duration: f64, seed: u64) -> Vec<Scenario> {
+        [
+            MediumKind::Contention,
+            MediumKind::Ideal,
+            MediumKind::shadowing(),
+        ]
+        .into_iter()
+        .map(|medium| {
+            let config = SimConfig::paper_scaled(n_nodes, 100.0, seed).with_duration(duration);
+            Scenario::new(format!("large-n/{n_nodes}/{medium}"), config)
+                .with_messages((n_nodes / 50).max(1))
+                .with_medium(medium)
+        })
+        .collect()
+    }
+
     /// Runs the scenario once with its configured seed.
     pub fn run<P: Protocol>(&self, factory: impl FnMut(NodeId, &SimConfig) -> P) -> RunStats {
         self.run_seeded(self.config.seed, factory)
@@ -296,6 +333,22 @@ mod tests {
         assert_eq!(wl.len(), 40);
         // paper_style keeps sources within the active subset of 20 nodes.
         assert!(wl.messages().iter().all(|m| m.src.index() < 15));
+    }
+
+    #[test]
+    fn large_n_tier_covers_all_media_at_paper_density() {
+        let tier = Scenario::large_n_tier(5000, 8.0, 3);
+        let names: Vec<&str> = tier.iter().map(|s| s.medium.name()).collect();
+        assert_eq!(names, vec!["contention", "ideal", "shadowing"]);
+        for s in &tier {
+            assert_eq!(s.config.n_nodes, 5000);
+            assert_eq!(s.config.sim_duration, 8.0);
+            // Paper density: 50 nodes per 1500 m × 300 m strip.
+            let density =
+                s.config.n_nodes as f64 / (s.config.region.width() * s.config.region.height());
+            assert!((density - 50.0 / (1500.0 * 300.0)).abs() < 1e-12);
+            assert_eq!(s.build_workload().len(), 100);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, MessageInfo, NodeId};
 use crate::medium::{ContentionMedium, Frame, Medium, PacketKind, QueueFull, TxResolution};
-use crate::neighbors::{NeighborEntry, NeighborTables};
+use crate::neighbors::{NeighborEntry, NeighborTables, NeighborsView};
 use crate::stats::RunStats;
 use crate::time::SimTime;
 use crate::workload::Workload;
@@ -138,13 +138,18 @@ impl<'a, Pk: Clone + std::fmt::Debug> Ctx<'a, Pk> {
 
     /// Fresh one-hop neighbour entries (positions are as of each
     /// neighbour's last beacon, so up to `beacon_interval` stale).
-    pub fn neighbors(&self) -> Vec<NeighborEntry> {
+    ///
+    /// The returned [`NeighborsView`] derefs to `[NeighborEntry]` and
+    /// iterates by value like the `Vec` it replaced; under the default
+    /// [`crate::TableBackend::Shared`] repeated calls within one event
+    /// are `Arc` clones of a cached snapshot, not fresh allocations.
+    pub fn neighbors(&mut self) -> NeighborsView {
         self.core.tables.fresh_one_hop(self.me, self.core.world.now)
     }
 
     /// Fresh merged 1- and 2-hop entries — the "distance two neighbourhood
     /// information" the paper's nodes collect to build the LDTG.
-    pub fn local_view(&self) -> Vec<NeighborEntry> {
+    pub fn local_view(&mut self) -> NeighborsView {
         self.core.tables.fresh_view(self.me, self.core.world.now)
     }
 
@@ -329,7 +334,7 @@ impl<P: Protocol> Simulation<P> {
         let message_ids = (0..workload.len())
             .map(|i| workload.message_id(i))
             .collect();
-        let tables = NeighborTables::new(n, config.neighbor_ttl);
+        let tables = NeighborTables::new(n, config.neighbor_ttl, config.neighbor_tables);
         let core = Core {
             world: World::new(config, trajectories, rng),
             events: EventQueue::new(),
@@ -426,8 +431,8 @@ impl<P: Protocol> Simulation<P> {
         let range = self.core.world.config.radio_range;
         let receivers = self.core.world.nodes_within(pos_u, range, u);
         // Snapshot of u's one-hop table rides along in the beacon (2-hop
-        // info).
-        let snapshot = self.core.tables.fresh_one_hop(u, now);
+        // info) — materialised once and shared by every receiver.
+        let snapshot = self.core.tables.beacon_snapshot(u, now);
         self.core.world.stats.control_tx += 1;
 
         let sender = NeighborEntry {

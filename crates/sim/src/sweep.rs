@@ -23,6 +23,11 @@
 //! cover disjoint cell sets. Each shard's [`SweepResults`] carries
 //! global cell indices, and [`SweepResults::merge`] reassembles the full
 //! grid exactly as if it had run unsharded.
+//!
+//! Resume: [`Sweep::skipping`] excludes already-completed cells (e.g.
+//! those present in a partial report written before an interruption), so
+//! a killed run continues where it stopped; merging the old and new
+//! results is byte-identical to an uninterrupted run.
 
 use crate::stats::RunStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,12 +60,14 @@ impl Shard {
     }
 }
 
-/// The sweep engine: run count, worker threads, and an optional shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The sweep engine: run count, worker threads, an optional shard, and
+/// an optional set of cells to skip (resume support).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sweep {
     runs_per_cell: usize,
     threads: usize,
     shard: Option<Shard>,
+    skip: Vec<usize>,
 }
 
 impl Sweep {
@@ -79,6 +86,7 @@ impl Sweep {
             runs_per_cell,
             threads,
             shard: None,
+            skip: Vec::new(),
         }
     }
 
@@ -100,6 +108,21 @@ impl Sweep {
         self
     }
 
+    /// Returns the sweep with the given global cell indices excluded —
+    /// the resume mechanism: pass the cells already present in a
+    /// previously written report (e.g.
+    /// [`crate::ReportSet::completed_cells`] of a partial `--json` file
+    /// from an interrupted run) and only the missing cells execute.
+    /// Because every run is a pure function of `(cell, run index)`,
+    /// merging the old report with the resumed one reproduces an
+    /// uninterrupted run byte for byte (`tests/sweep_shard.rs`).
+    pub fn skipping(mut self, cells: impl IntoIterator<Item = usize>) -> Self {
+        self.skip.extend(cells);
+        self.skip.sort_unstable();
+        self.skip.dedup();
+        self
+    }
+
     /// Runs per cell.
     pub fn runs_per_cell(&self) -> usize {
         self.runs_per_cell
@@ -108,7 +131,9 @@ impl Sweep {
     /// The global cell indices this sweep will execute.
     fn owned_cells(&self, n_cells: usize) -> Vec<usize> {
         (0..n_cells)
-            .filter(|&c| self.shard.is_none_or(|s| s.owns(c)))
+            .filter(|&c| {
+                self.shard.is_none_or(|s| s.owns(c)) && self.skip.binary_search(&c).is_err()
+            })
             .collect()
     }
 
@@ -328,6 +353,40 @@ mod tests {
         assert_eq!(c3.runs.len(), 2);
         assert_eq!(c3.runs[0], fake_run(3, 0));
         assert_eq!(c3.runs[1], fake_run(3, 1));
+    }
+
+    #[test]
+    fn skipping_resumes_to_the_same_results() {
+        let cells: Vec<u64> = (0..9).collect();
+        let run_fn = |c: &u64, r: usize| fake_run(*c, r);
+        let full = Sweep::new(2).execute(&cells, run_fn);
+        // An "interrupted" run finished only cells 0, 3, 4.
+        let done = [0usize, 3, 4];
+        let partial = SweepResults {
+            cells: full
+                .cells()
+                .iter()
+                .filter(|c| done.contains(&c.cell))
+                .cloned()
+                .collect(),
+        };
+        let resumed = Sweep::new(2).skipping(done).execute(&cells, run_fn);
+        assert_eq!(resumed.cells().len(), cells.len() - done.len());
+        assert!(resumed.get(3).is_none());
+        let merged = SweepResults::merge(vec![partial, resumed]);
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn skipping_composes_with_shards() {
+        let cells: Vec<u64> = (0..10).collect();
+        let run_fn = |c: &u64, r: usize| fake_run(*c, r);
+        let res = Sweep::new(1)
+            .with_shard(0, 2) // owns even cells
+            .skipping([0usize, 1, 4])
+            .execute(&cells, run_fn);
+        let owned: Vec<usize> = res.cells().iter().map(|c| c.cell).collect();
+        assert_eq!(owned, vec![2, 6, 8]);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Round-trip edge cases for the serde-free report JSON: hostile
+//! strings, empty sets, extreme floats, non-finite rejection, and the
+//! mismatched-grid-context merge guard — everything the shard-merge
+//! pipeline's byte-identity depends on at the format boundary.
+
+use glr_sim::{CellReport, ReportSet, RunMetrics};
+
+fn metrics() -> RunMetrics {
+    RunMetrics {
+        messages_created: 4,
+        messages_delivered: 2,
+        delivery_ratio: 0.5,
+        avg_latency: Some(7.5),
+        avg_hops: Some(3.0),
+        duplicate_deliveries: 1,
+        max_peak_storage: 4,
+        avg_peak_storage: 2.5,
+        mean_storage_occupancy: 1.25,
+        data_tx: 10,
+        control_tx: 20,
+        collisions: 2,
+        out_of_range: 1,
+        queue_drops: 0,
+        storage_drops: 0,
+        counters: Vec::new(),
+    }
+}
+
+fn roundtrip(set: &ReportSet) -> ReportSet {
+    let text = set.to_json();
+    let back = ReportSet::from_json(&text).expect("round trip parses");
+    // Byte-identical re-serialisation — the merge pipeline's invariant.
+    assert_eq!(back.to_json(), text);
+    back
+}
+
+#[test]
+fn escaped_strings_round_trip_everywhere() {
+    let hostile = "quote \" backslash \\ newline \n tab \t cr \r ctrl \u{1} unicode ±μ€ 网";
+    let set = ReportSet {
+        context: format!("ctx {hostile}"),
+        cells: vec![CellReport {
+            cell: 0,
+            label: format!("label {hostile}"),
+            runs: vec![RunMetrics {
+                counters: vec![(format!("counter.{hostile}"), 3)],
+                ..metrics()
+            }],
+        }],
+    };
+    let back = roundtrip(&set);
+    assert_eq!(back, set);
+    assert_eq!(
+        back.cells[0].runs[0].counter(&format!("counter.{hostile}")),
+        3
+    );
+}
+
+#[test]
+fn empty_report_set_round_trips() {
+    let empty = ReportSet::default();
+    let back = roundtrip(&empty);
+    assert_eq!(back, empty);
+    assert!(back.is_complete(0));
+    assert!(back.completed_cells().is_empty());
+    // An empty set merges with itself into an empty set.
+    let merged = ReportSet::merge(vec![empty.clone(), ReportSet::default()]).unwrap();
+    assert_eq!(merged, empty);
+}
+
+#[test]
+fn cell_with_no_runs_round_trips() {
+    let set = ReportSet {
+        context: String::new(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "empty cell".into(),
+            runs: Vec::new(),
+        }],
+    };
+    assert_eq!(roundtrip(&set), set);
+}
+
+#[test]
+fn extreme_floats_round_trip_bit_exactly() {
+    // Largest finite, smallest normal, a subnormal, negative zero, and a
+    // value whose shortest decimal form exercises many digits.
+    let extremes = [f64::MAX, f64::MIN_POSITIVE, 5e-324, -0.0, 1.0 / 3.0, 1e300];
+    for (i, &x) in extremes.iter().enumerate() {
+        let set = ReportSet {
+            context: format!("extreme {i}"),
+            cells: vec![CellReport {
+                cell: 0,
+                label: "x".into(),
+                runs: vec![RunMetrics {
+                    delivery_ratio: x,
+                    avg_latency: Some(x),
+                    avg_hops: None,
+                    avg_peak_storage: x,
+                    mean_storage_occupancy: x,
+                    ..metrics()
+                }],
+            }],
+        };
+        let back = roundtrip(&set);
+        let m = &back.cells[0].runs[0];
+        assert_eq!(
+            m.delivery_ratio.to_bits(),
+            x.to_bits(),
+            "lost bits for {x:e}"
+        );
+        assert_eq!(m.avg_latency.unwrap().to_bits(), x.to_bits());
+        assert_eq!(m.avg_hops, None);
+    }
+}
+
+#[test]
+fn huge_u64_counters_round_trip_without_f64_detour() {
+    let set = ReportSet {
+        context: String::new(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "big".into(),
+            runs: vec![RunMetrics {
+                data_tx: u64::MAX,
+                control_tx: u64::MAX - 1, // not representable in f64
+                counters: vec![("huge".into(), (1u64 << 53) + 1)],
+                ..metrics()
+            }],
+        }],
+    };
+    let back = roundtrip(&set);
+    assert_eq!(back.cells[0].runs[0].data_tx, u64::MAX);
+    assert_eq!(back.cells[0].runs[0].control_tx, u64::MAX - 1);
+    assert_eq!(back.cells[0].runs[0].counter("huge"), (1u64 << 53) + 1);
+}
+
+#[test]
+#[should_panic(expected = "non-finite metric")]
+fn non_finite_metric_is_rejected_at_serialisation() {
+    let set = ReportSet {
+        context: String::new(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "nan".into(),
+            runs: vec![RunMetrics {
+                delivery_ratio: f64::NAN,
+                ..metrics()
+            }],
+        }],
+    };
+    let _ = set.to_json();
+}
+
+#[test]
+#[should_panic(expected = "non-finite metric")]
+fn infinite_optional_metric_is_rejected_at_serialisation() {
+    let set = ReportSet {
+        context: String::new(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "inf".into(),
+            runs: vec![RunMetrics {
+                avg_latency: Some(f64::INFINITY),
+                ..metrics()
+            }],
+        }],
+    };
+    let _ = set.to_json();
+}
+
+#[test]
+fn non_finite_tokens_are_parse_errors_not_values() {
+    let good = ReportSet {
+        context: String::new(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "x".into(),
+            runs: vec![metrics()],
+        }],
+    }
+    .to_json();
+    // JSON has no NaN/Infinity literals, and overflowing lexemes must not
+    // silently become f64::INFINITY.
+    for bad in ["NaN", "Infinity", "-Infinity", "1e999", "-1e999"] {
+        let text = good.replace(
+            "\"delivery_ratio\": 0.5",
+            &format!("\"delivery_ratio\": {bad}"),
+        );
+        assert_ne!(text, good, "replacement for {bad} did not apply");
+        assert!(
+            ReportSet::from_json(&text).is_err(),
+            "{bad} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn merge_of_parsed_files_rejects_mismatched_grid_contexts() {
+    // Two shard files with disjoint cells but from different grids (e.g.
+    // different experiment ids or effort): the context guard must refuse,
+    // otherwise they would silently interleave into one corrupt report.
+    let shard0 = ReportSet {
+        context: "ids=tab6; effort=2runs/250pm; cells=6; grid=0123456789abcdef".into(),
+        cells: vec![CellReport {
+            cell: 0,
+            label: "radius 250 m / glr".into(),
+            runs: vec![metrics()],
+        }],
+    };
+    let shard1 = ReportSet {
+        context: "ids=tab6; effort=5runs/1000pm; cells=6; grid=fedcba9876543210".into(),
+        cells: vec![CellReport {
+            cell: 1,
+            label: "radius 250 m / epidemic".into(),
+            runs: vec![metrics()],
+        }],
+    };
+    let parts: Vec<ReportSet> = [&shard0, &shard1]
+        .iter()
+        .map(|s| ReportSet::from_json(&s.to_json()).expect("shard parses"))
+        .collect();
+    let err = ReportSet::merge(parts).unwrap_err();
+    assert!(err.contains("different sweeps"), "{err}");
+    // Same context, same cell twice: also refused.
+    let dup = ReportSet::merge(vec![shard0.clone(), shard0]).unwrap_err();
+    assert!(dup.contains("more than one shard"), "{dup}");
+}

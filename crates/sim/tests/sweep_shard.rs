@@ -114,6 +114,43 @@ fn shard_json_merge_matches_unsharded_byte_for_byte() {
 }
 
 #[test]
+fn kill_and_resume_round_trip_is_byte_identical() {
+    let cells = grid();
+    let label = |i: usize| cells[i].label.clone();
+    let context = "grid=test; runs=2";
+
+    // The uninterrupted reference run.
+    let full_json = ReportSet::from_sweep(&Sweep::new(RUNS).execute(&cells, run_cell), label)
+        .with_context(context)
+        .to_json();
+
+    // A run killed partway: only cells 0, 2 and 5 made it into the
+    // report file before the process died.
+    let finished = [0usize, 2, 5];
+    let killed = Sweep::new(RUNS)
+        .skipping((0..cells.len()).filter(|c| !finished.contains(c)))
+        .execute(&cells, run_cell);
+    let partial_json = ReportSet::from_sweep(&killed, label)
+        .with_context(context)
+        .to_json();
+
+    // Resume: parse the partial file, skip its completed cells, run the
+    // rest, merge — byte-identical to the uninterrupted report.
+    let partial = ReportSet::from_json(&partial_json).expect("partial report parses");
+    let resumed = Sweep::new(RUNS)
+        .skipping(partial.completed_cells())
+        .execute(&cells, run_cell);
+    let resumed_report = ReportSet::from_sweep(&resumed, label).with_context(context);
+    assert_eq!(
+        resumed_report.completed_cells(),
+        vec![1usize, 3, 4],
+        "resume must run exactly the missing cells"
+    );
+    let merged = ReportSet::merge(vec![partial, resumed_report]).expect("disjoint resume merge");
+    assert_eq!(merged.to_json(), full_json);
+}
+
+#[test]
 fn report_summaries_match_sweep_stats() {
     let cells = grid();
     let results = Sweep::new(RUNS).execute(&cells, run_cell);
