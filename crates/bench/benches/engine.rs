@@ -1,0 +1,119 @@
+//! Whole-engine benchmarks for the single-run scaling work: the dense
+//! 10k-node beacon workload (the regime PR 4's flat arena, batched
+//! delivery and single-probe tables target), the 100k-node paper-density
+//! tier, serial vs parallel engine rows, and the deployment memory
+//! footprint (arena vs `Vec<Trajectory>`).
+//!
+//! The dense group grows node density with `√n` (region scaled by
+//! `(n/50)^0.25`), the regime where every beacon fans out to ~50
+//! receivers; the 100k group holds the paper's density (degree ~3.5)
+//! and scales the area instead.
+//!
+//! Regenerate the committed artefact with:
+//!
+//! ```sh
+//! CRITERION_JSON=BENCH_sim.json cargo bench -p glr-bench --bench engine
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glr_mobility::{DeploymentArena, MobilityModel, RandomWaypoint, Region};
+use glr_sim::{Ctx, EngineKind, MessageInfo, NodeId, Protocol, SimConfig, Simulation, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Idle;
+impl Protocol for Idle {
+    type Packet = ();
+    fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+    fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+}
+
+/// Region scaled by `(n/50)^exponent`: 0.5 holds paper density, 0.25
+/// grows density (and radio degree) with `√n`.
+fn config(n: usize, exponent: f64, duration: f64, engine: EngineKind) -> SimConfig {
+    let scale = (n as f64 / 50.0).powf(exponent);
+    SimConfig::paper(100.0, 42)
+        .with_nodes(n)
+        .with_region(Region::new(1500.0 * scale, 300.0 * scale))
+        .with_duration(duration)
+        .with_engine(engine)
+}
+
+/// The acceptance workload: 10k nodes in the dense regime (degree ~48),
+/// two full beacon rounds, beacons only — the pure beacon storm.
+fn bench_engine_dense10k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_dense10k_2s");
+    for (name, engine) in [
+        ("serial", EngineKind::Serial),
+        ("parallel4", EngineKind::Parallel(4)),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 10_000), |b| {
+            b.iter(|| {
+                let cfg = config(10_000, 0.25, 2.0, engine);
+                let wl = Workload::paper_style(cfg.n_nodes, 50, 1000);
+                Simulation::new(black_box(cfg), wl, |_, _| Idle).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// 100k nodes at the paper's density for one simulated second — the
+/// scale the ROADMAP's open item named. One full beacon round from every
+/// node plus epidemic-style empty traffic.
+fn bench_engine_100k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_100k_1s");
+    for (name, engine) in [
+        ("serial", EngineKind::Serial),
+        ("parallel4", EngineKind::Parallel(4)),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 100_000), |b| {
+            b.iter(|| {
+                let cfg = config(100_000, 0.5, 1.0, engine);
+                let wl = Workload::paper_style(cfg.n_nodes, 100, 1000);
+                Simulation::new(black_box(cfg), wl, |_, _| Idle).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Deployment memory footprint: bytes per node of the interned arena vs
+/// the per-node `Vec<Trajectory>` it replaced, printed for the committed
+/// artefact's note (the criterion shim reports times, not sizes, so the
+/// bench measures the interning pass and prints the byte counts).
+fn bench_deployment_footprint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployment_intern");
+    for n in [10_000usize, 100_000] {
+        let scale = (n as f64 / 50.0).sqrt();
+        let region = Region::new(1500.0 * scale, 300.0 * scale);
+        let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Paper-duration trajectories: this is where keyframe counts —
+        // and the per-node Vec overhead — are realistic.
+        let trajs = model.deployment(region, n, 3800.0, &mut rng);
+        let arena = DeploymentArena::from_trajectories(&trajs);
+        println!(
+            "deployment_footprint/{n}: arena {} B ({} B/node, {} keyframes), \
+             Vec<Trajectory> {} B ({} B/node)",
+            arena.heap_bytes(),
+            arena.heap_bytes() / n,
+            arena.total_keyframes(),
+            DeploymentArena::vec_equivalent_bytes(&trajs),
+            DeploymentArena::vec_equivalent_bytes(&trajs) / n,
+        );
+        g.bench_function(BenchmarkId::new("arena_build", n), |b| {
+            b.iter(|| DeploymentArena::from_trajectories(black_box(&trajs)).total_keyframes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_engine_dense10k,
+    bench_engine_100k,
+    bench_deployment_footprint
+);
+criterion_main!(engine);

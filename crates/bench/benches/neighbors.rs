@@ -16,7 +16,7 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use glr_mobility::{MobilityModel, RandomWaypoint, Region, Trajectory};
+use glr_mobility::{DeploymentArena, MobilityModel, RandomWaypoint, Region};
 use glr_sim::{
     IndexBackend, NeighborEntry, NeighborTables, NodeId, SimConfig, SimTime, Simulation,
     SpatialIndex, TableBackend, Workload,
@@ -29,16 +29,17 @@ const RANGE: f64 = 100.0;
 const SIZES: [usize; 3] = [50, 500, 5000];
 
 /// Paper-density deployment: area grows linearly with n.
-fn deployment(n: usize, duration: f64, seed: u64) -> (Region, Vec<Trajectory>) {
+fn deployment(n: usize, duration: f64, seed: u64) -> (Region, DeploymentArena) {
     let scale = (n as f64 / 50.0).sqrt();
     let region = Region::new(1500.0 * scale, 300.0 * scale);
     let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let trajs = model.deployment(region, n, duration, &mut rng);
+    let trajs =
+        DeploymentArena::from_trajectories(&model.deployment(region, n, duration, &mut rng));
     (region, trajs)
 }
 
-fn index(backend: IndexBackend, n: usize, trajs: &[Trajectory]) -> SpatialIndex {
+fn index(backend: IndexBackend, n: usize, trajs: &DeploymentArena) -> SpatialIndex {
     let mut idx = SpatialIndex::new(backend, n, 20.0, RANGE);
     idx.refresh(SimTime::ZERO, trajs);
     idx
@@ -46,12 +47,12 @@ fn index(backend: IndexBackend, n: usize, trajs: &[Trajectory]) -> SpatialIndex 
 
 /// One query batch: a radius query around each of 64 probe nodes, at a
 /// time slightly after the grid snapshot (so the drift path is exercised).
-fn query_batch(idx: &SpatialIndex, trajs: &[Trajectory], n: usize) -> usize {
+fn query_batch(idx: &SpatialIndex, trajs: &DeploymentArena, n: usize) -> usize {
     let now = SimTime::from_secs(0.5);
     let mut total = 0;
     for k in 0..64usize {
         let u = k * n / 64;
-        let center = trajs[u].position_at(now.as_secs());
+        let center = trajs.position_at(u, now.as_secs());
         total += idx
             .nodes_within(trajs, now, center, RANGE, NodeId(u as u32))
             .len();
@@ -154,8 +155,8 @@ fn tables_fixture(
     let region = Region::new(1500.0 * scale, 300.0 * scale);
     let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let trajs = model.deployment(region, n, 10.0, &mut rng);
-    let positions: Vec<_> = trajs.iter().map(|t| t.position_at(0.0)).collect();
+    let trajs = DeploymentArena::from_trajectories(&model.deployment(region, n, 10.0, &mut rng));
+    let positions: Vec<_> = (0..n).map(|u| trajs.position_at(u, 0.0)).collect();
     let mut idx = SpatialIndex::new(IndexBackend::Grid, n, 20.0, RANGE);
     idx.refresh(SimTime::ZERO, &trajs);
     let nbrs: Vec<Vec<NodeId>> = (0..n)

@@ -811,22 +811,23 @@ fn tab6(effort: Effort) -> Job {
     }
 }
 
-/// Media comparison: Table 6's workload reproduced under all three
-/// media — the paper's contention model, the lossless ideal radio, and
-/// log-distance shadowing.
+/// Media comparison: Table 6's workload reproduced under all four
+/// media — the paper's contention model, the lossless ideal radio,
+/// log-distance shadowing, and a 30%-duty-cycled contention radio.
 fn media_compare(effort: Effort) -> Job {
     let messages = effort.scale(1980);
     let media = [
         MediumKind::Contention,
         MediumKind::Ideal,
         MediumKind::shadowing(),
+        MediumKind::duty_cycled(MediumKind::Contention, 0.3, 1.0),
     ];
     let mut rows = Vec::new();
     let mut cells = Vec::new();
     for radius in [250.0, 200.0, 150.0, 100.0, 50.0] {
         let sim = SimConfig::paper(radius, 170);
         let label = format!("radius {radius} m");
-        for medium in media {
+        for medium in media.clone() {
             cells.push(Cell::glr(
                 Scenario::new(format!("media-compare/{label}/{medium}"), sim.clone())
                     .with_messages(messages)
@@ -837,7 +838,7 @@ fn media_compare(effort: Effort) -> Job {
         rows.push(label);
     }
     Job {
-        title: "Media comparison — GLR under three media (Table 6 workload)".into(),
+        title: "Media comparison — GLR under four media (Table 6 workload)".into(),
         columns: vec![
             "cont delv %",
             "cont hops",
@@ -845,9 +846,11 @@ fn media_compare(effort: Effort) -> Job {
             "ideal hops",
             "shadow delv %",
             "shadow hops",
+            "duty30 delv %",
+            "duty30 hops",
         ],
         rows,
-        row_span: 3,
+        row_span: 4,
         cells,
         render: Box::new(|r| {
             vec![
@@ -857,10 +860,13 @@ fn media_compare(effort: Effort) -> Job {
                 fmt_summary(r[1].avg_hops(), 2),
                 fmt_summary(r[2].delivery_pct(), 1),
                 fmt_summary(r[2].avg_hops(), 2),
+                fmt_summary(r[3].delivery_pct(), 1),
+                fmt_summary(r[3].avg_hops(), 2),
             ]
         }),
-        note: "  (ideal bounds the protocol's best case; shadowing softens the range cliff — \
-         expect delivery contention <= shadowing <= ideal at small radii)",
+        note: "  (ideal bounds the protocol's best case; shadowing softens the range cliff; \
+         duty30 sleeps radios 70% of the time and silently drops frames arriving during \
+         sleep — expect delivery duty30 <= contention <= shadowing <= ideal at small radii)",
         artifact: None,
     }
 }

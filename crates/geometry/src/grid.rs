@@ -30,8 +30,15 @@ pub struct Grid {
     min: Point2,
     cols: usize,
     rows: usize,
-    /// `buckets[row * cols + col]` lists point indices in that cell.
-    buckets: Vec<Vec<usize>>,
+    /// CSR cell storage: cell `c`'s point indices are
+    /// `indices[starts[c]..starts[c + 1]]`, in ascending order. One flat
+    /// allocation instead of a heap `Vec` per cell, so a query's cell
+    /// walk reads contiguous ranges instead of chasing a pointer per
+    /// bucket — and rebuilds reuse both buffers.
+    starts: Vec<u32>,
+    indices: Vec<u32>,
+    /// Reusable fill-cursor scratch for [`Grid::rebuild`].
+    cursor: Vec<u32>,
 }
 
 impl Grid {
@@ -42,9 +49,35 @@ impl Grid {
     /// Panics if `cell_size` is not strictly positive and finite, or if any
     /// point has a non-finite coordinate.
     pub fn build(points: &[Point2], cell_size: f64) -> Self {
+        let mut grid = Grid {
+            cell: cell_size,
+            min: Point2::ORIGIN,
+            cols: 0,
+            rows: 0,
+            starts: Vec::new(),
+            indices: Vec::new(),
+            cursor: Vec::new(),
+        };
+        grid.rebuild(points, cell_size);
+        grid
+    }
+
+    /// Rebuilds the grid in place over a new point snapshot, reusing the
+    /// bucket allocations of the previous build — the path for callers
+    /// that re-index a moving point set many times per run (the
+    /// simulator's drift-compensated spatial index).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Grid::build`].
+    pub fn rebuild(&mut self, points: &[Point2], cell_size: f64) {
         assert!(
             cell_size.is_finite() && cell_size > 0.0,
             "cell size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            u32::try_from(points.len()).is_ok(),
+            "grid indexes points with u32"
         );
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} has non-finite coordinates");
@@ -54,21 +87,31 @@ impl Grid {
         let height = (max.y - min.y).max(0.0);
         let cols = (width / cell_size).floor() as usize + 1;
         let rows = (height / cell_size).floor() as usize + 1;
-        let mut buckets = vec![Vec::new(); cols * rows];
-        let grid_tmp = Grid {
-            cell: cell_size,
-            min,
-            cols,
-            rows,
-            buckets: Vec::new(),
-        };
-        for (i, &p) in points.iter().enumerate() {
-            let (c, r) = grid_tmp.cell_of(p);
-            buckets[r * cols + c].push(i);
+        self.cell = cell_size;
+        self.min = min;
+        self.cols = cols;
+        self.rows = rows;
+        // Counting sort into CSR: count per cell, prefix-sum, fill.
+        // Filling in point order keeps every cell's indices ascending.
+        let n_cells = cols * rows;
+        self.starts.clear();
+        self.starts.resize(n_cells + 1, 0);
+        for &p in points {
+            let (c, r) = self.cell_of(p);
+            self.starts[r * cols + c + 1] += 1;
         }
-        Grid {
-            buckets,
-            ..grid_tmp
+        for i in 1..=n_cells {
+            self.starts[i] += self.starts[i - 1];
+        }
+        self.indices.clear();
+        self.indices.resize(points.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..n_cells]);
+        for (i, &p) in points.iter().enumerate() {
+            let (c, r) = self.cell_of(p);
+            let slot = &mut self.cursor[r * cols + c];
+            self.indices[*slot as usize] = i as u32;
+            *slot += 1;
         }
     }
 
@@ -104,19 +147,30 @@ impl Grid {
         radius: f64,
         mut f: F,
     ) {
-        let r_cells = (radius / self.cell).ceil() as isize + 1;
-        let (cc, cr) = self.cell_of(center);
+        // Scan the cells covering [center − r_pad, center + r_pad]. The
+        // distance filter below is *rounded* arithmetic: a point whose
+        // true distance is a few ulps beyond `radius` can still satisfy
+        // `dist_sq <= r_sq`, so the window must over-cover by at least
+        // that slack. `pad` is ~10⁶ ulps of the coordinate/radius
+        // magnitudes — astronomically larger than the rounding slack,
+        // geometrically negligible (~10⁻⁹ relative). Within the padded
+        // box the mapping point → cell is safe because correctly-rounded
+        // subtraction and division are monotone: any accepted point's
+        // cell index lies between the padded corners' indices.
+        let pad = 1e-9 * (radius + center.x.abs() + center.y.abs() + 1.0);
+        let r_pad = radius + pad;
+        let (c0, r0) = self.cell_of(Point2::new(center.x - r_pad, center.y - r_pad));
+        let (c1, r1) = self.cell_of(Point2::new(center.x + r_pad, center.y + r_pad));
         let r_sq = radius * radius;
-        let c0 = (cc as isize - r_cells).max(0) as usize;
-        let c1 = ((cc as isize + r_cells) as usize).min(self.cols - 1);
-        let r0 = (cr as isize - r_cells).max(0) as usize;
-        let r1 = ((cr as isize + r_cells) as usize).min(self.rows - 1);
         for row in r0..=r1 {
-            for col in c0..=c1 {
-                for &i in &self.buckets[row * self.cols + col] {
-                    if points[i].dist_sq(center) <= r_sq {
-                        f(i);
-                    }
+            let row_base = row * self.cols;
+            // Cells in one row are adjacent in the CSR layout, so the
+            // whole row span is one contiguous slice of `indices`.
+            let lo = self.starts[row_base + c0] as usize;
+            let hi = self.starts[row_base + c1 + 1] as usize;
+            for &i in &self.indices[lo..hi] {
+                if points[i as usize].dist_sq(center) <= r_sq {
+                    f(i as usize);
                 }
             }
         }
@@ -204,6 +258,28 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn non_finite_point_panics() {
         Grid::build(&[Point2::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    /// The distance filter accepts points whose *rounded* distance hits
+    /// the radius exactly even though their true distance is a hair
+    /// beyond; the scanned window must still include their cells. The
+    /// exact constants here reproduce a miss found in review: with
+    /// radius-derived cell counting (`±ceil(r/cell)` from the center's
+    /// cell, no padding), the point at x = 3.0 sits one cell past the
+    /// window while `fl(3.0 − 0.9999999999999999) = 2.0` passes the
+    /// filter.
+    #[test]
+    fn rounded_boundary_points_are_not_missed() {
+        let center = Point2::new(0.999_999_999_999_999_9, 0.0);
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(3.0, 0.0)];
+        let grid = Grid::build(&pts, 1.0);
+        let mut got = grid.within_radius(&pts, center, 2.0);
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].dist(center) <= 2.0)
+            .collect();
+        assert!(want.contains(&1), "filter must accept the boundary point");
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -24,10 +24,12 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod models;
 mod region;
 mod trajectory;
 
+pub use arena::{DeploymentArena, TrajectoryRef};
 pub use models::{MobilityModel, RandomWalk, RandomWaypoint, Stationary, SPEED_FLOOR};
 pub use region::Region;
 pub use trajectory::Trajectory;

@@ -69,28 +69,26 @@ impl Trajectory {
 
     /// Position at time `t`, clamped to the first/last keyframe outside the
     /// covered interval.
+    ///
+    /// O(1) for 1- and 2-keyframe trajectories (stationary nodes and
+    /// single-leg movers — the common case in short runs); longer
+    /// trajectories binary-search for the segment containing `t`. Both
+    /// paths evaluate the same unique segment with the same interpolation
+    /// expression, so which path answered is unobservable (asserted
+    /// bit-for-bit by the `fast_paths_match_binary_search` proptest).
     pub fn position_at(&self, t: f64) -> Point2 {
         let kf = &self.keyframes;
+        let n = kf.len();
         if t <= kf[0].0 {
             return kf[0].1;
         }
-        if t >= kf[kf.len() - 1].0 {
-            return kf[kf.len() - 1].1;
+        if t >= kf[n - 1].0 {
+            return kf[n - 1].1;
         }
-        // Binary search for the segment containing t.
-        let mut lo = 0;
-        let mut hi = kf.len() - 1;
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            if kf[mid].0 <= t {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let (t0, p0) = kf[lo];
-        let (t1, p1) = kf[hi];
-        p0.lerp(p1, (t - t0) / (t1 - t0))
+        // Here n >= 2 and kf[0].0 < t < kf[n-1].0: t lies in the unique
+        // segment [lo, lo+1) with kf[lo].0 <= t < kf[lo+1].0.
+        let lo = if n == 2 { 0 } else { segment_of(kf, t) };
+        segment_lerp(kf[lo], kf[lo + 1], t)
     }
 
     /// End time of the last keyframe.
@@ -124,6 +122,34 @@ impl Trajectory {
     pub fn path_length(&self) -> f64 {
         self.keyframes.windows(2).map(|w| w[0].1.dist(w[1].1)).sum()
     }
+}
+
+/// Binary search for the index `lo` of the segment containing `t`.
+/// Requires `kf[0].0 < t < kf[kf.len()-1].0`. Shared by
+/// [`Trajectory::position_at`] and the arena's `TrajectoryRef` so the
+/// two evaluation paths cannot drift apart.
+pub(crate) fn segment_of(kf: &[(f64, Point2)], t: f64) -> usize {
+    let mut lo = 0;
+    let mut hi = kf.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if kf[mid].0 <= t {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Interpolation inside one segment — the single definition of the
+/// expression whose bit-exact behaviour both [`Trajectory::position_at`]
+/// and the arena's `TrajectoryRef::position_at` promise.
+#[inline]
+pub(crate) fn segment_lerp(a: (f64, Point2), b: (f64, Point2), t: f64) -> Point2 {
+    let (t0, p0) = a;
+    let (t1, p1) = b;
+    p0.lerp(p1, (t - t0) / (t1 - t0))
 }
 
 #[cfg(test)]

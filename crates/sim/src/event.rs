@@ -1,14 +1,16 @@
-//! The discrete-event queue: event kinds and a deterministic
-//! time-then-FIFO priority queue.
+//! The discrete-event queue: event kinds over the deterministic
+//! time-then-FIFO [`TimedQueue`].
 //!
-//! Events at equal timestamps pop in scheduling order (a monotone
-//! sequence number breaks ties), which is what makes a run a pure
-//! function of its inputs: no ordering is ever left to the heap's whim.
+//! Events at equal timestamps pop in scheduling order (the queue's
+//! monotone sequence number breaks ties), which is what makes a run a
+//! pure function of its inputs: no ordering is ever left to the heap's
+//! whim. [`EventQueue::drain_due`] hands the engine everything due at
+//! one timestamp as a batch — the unit the batched-delivery loop and
+//! the parallel reception phase operate on.
 
 use crate::ids::NodeId;
+use crate::queue::TimedQueue;
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,31 +27,10 @@ pub(crate) enum EventKind {
     StatsSample,
 }
 
-/// An event with its due time and tie-breaking sequence number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct QEvent {
-    pub(crate) at: SimTime,
-    seq: u64,
-    pub(crate) kind: EventKind,
-}
-
-impl Ord for QEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialOrd for QEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// The simulation's future: a min-heap of [`QEvent`]s.
+/// The simulation's future: a deterministic min-heap of [`EventKind`]s.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<QEvent>>,
-    seq: u64,
+    q: TimedQueue<EventKind>,
 }
 
 impl EventQueue {
@@ -59,22 +40,27 @@ impl EventQueue {
 
     /// Schedules `kind` at time `at`.
     pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        self.seq += 1;
-        self.heap.push(Reverse(QEvent {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        self.q.schedule(at, kind);
     }
 
     /// Due time of the next event without removing it.
     pub(crate) fn next_at(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(ev)| ev.at)
+        self.q.next_at()
     }
 
     /// Removes and returns the next event.
-    pub(crate) fn pop(&mut self) -> Option<QEvent> {
-        self.heap.pop().map(|Reverse(ev)| ev)
+    #[cfg(test)]
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.q.pop()
+    }
+
+    /// Pops every event due exactly at `at` (in FIFO order) onto the end
+    /// of `out`. Events a handler schedules *at the same timestamp*
+    /// while the batch runs are not in it — they drain on the next loop
+    /// turn, after the current batch, exactly where the one-at-a-time
+    /// reference loop would process them.
+    pub(crate) fn drain_due(&mut self, at: SimTime, out: &mut Vec<EventKind>) {
+        self.q.drain_due(at, out);
     }
 }
 
@@ -89,10 +75,29 @@ mod tests {
         q.schedule(SimTime::from_secs(1.0), EventKind::Beacon(NodeId(1)));
         q.schedule(SimTime::from_secs(1.0), EventKind::Beacon(NodeId(2)));
         assert_eq!(q.next_at(), Some(SimTime::from_secs(1.0)));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Beacon(NodeId(1)));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Beacon(NodeId(2)));
-        assert_eq!(q.pop().unwrap().kind, EventKind::StatsSample);
+        assert_eq!(q.pop().unwrap().1, EventKind::Beacon(NodeId(1)));
+        assert_eq!(q.pop().unwrap().1, EventKind::Beacon(NodeId(2)));
+        assert_eq!(q.pop().unwrap().1, EventKind::StatsSample);
         assert!(q.pop().is_none());
         assert_eq!(q.next_at(), None);
+    }
+
+    #[test]
+    fn drain_due_batches_one_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        q.schedule(t, EventKind::Beacon(NodeId(1)));
+        q.schedule(SimTime::from_secs(2.0), EventKind::StatsSample);
+        q.schedule(t, EventKind::TxComplete(NodeId(3)));
+        let mut batch = Vec::new();
+        q.drain_due(t, &mut batch);
+        assert_eq!(
+            batch,
+            vec![
+                EventKind::Beacon(NodeId(1)),
+                EventKind::TxComplete(NodeId(3))
+            ]
+        );
+        assert_eq!(q.next_at(), Some(SimTime::from_secs(2.0)));
     }
 }

@@ -24,15 +24,15 @@
 //!
 //! | module | responsibility |
 //! |---|---|
-//! | [`mod@sim`] | event sequencing: pops events, advances the clock, dispatches |
-//! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait: [`ContentionMedium`] (default), [`IdealMedium`], [`ShadowingMedium`] |
+//! | [`mod@sim`] | event sequencing: drains same-tick batches, advances the clock, dispatches ([`EngineKind::Serial`] reference / [`EngineKind::Parallel`] deterministic fan-out) |
+//! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait: [`ContentionMedium`] (default), [`IdealMedium`], [`ShadowingMedium`], [`DutyCycledMedium`] |
 //! | [`mod@neighbors`] | IMEP beacon sensing: `Arc`-interned beacon snapshots and incrementally merged 1-/2-hop tables with TTL expiry ([`TableBackend::Shared`]), plus the clone-and-merge reference ([`TableBackend::CloneMerge`]) |
 //! | [`mod@space`] | proximity queries: grid-indexed ([`SpatialIndex`]) with an exact linear-scan reference backend |
 //! | [`mod@world`] | shared state: clock, trajectories, RNG, statistics |
 //! | [`mod@scenario`] | declarative experiment cells: [`Scenario`] = config + workload + [`MediumKind`] |
 //! | [`mod@sweep`] | the parameter-sweep engine: work-queue execution of `(cell, seed)` units, sharding, deterministic collection |
 //! | [`mod@report`] | shard-mergeable per-run metrics with a serde-free JSON round trip |
-//! | `event` (private) | deterministic time-then-FIFO event queue |
+//! | [`mod@queue`] | deterministic time-then-FIFO priority queue ([`TimedQueue`]) with same-tick batch drain |
 //!
 //! Protocols implement [`Protocol`]; [`Simulation`] runs one seed (or
 //! [`Simulation::with_medium`] for an alternate PHY); [`MultiRun`]
@@ -48,9 +48,9 @@
 //! either neighbour-table backend, any thread count, any shard split,
 //! and any conforming medium.
 //!
-//! # Scaling to 10k+ nodes
+//! # Scaling to 100k+ nodes
 //!
-//! Two hot paths get sublinear backends, each validated bit-for-bit
+//! Three hot paths get faster backends, each validated bit-for-bit
 //! against a straightforward reference implementation:
 //!
 //! * proximity queries — [`IndexBackend::Grid`] vs
@@ -59,11 +59,39 @@
 //!   `Arc`-interned snapshot per beacon shared by all receivers,
 //!   incremental keyed merges, lazy staleness sweeping, cached
 //!   [`Ctx::neighbors`]/[`Ctx::local_view`]) vs
-//!   [`TableBackend::CloneMerge`] (`tests/table_equivalence.rs`).
+//!   [`TableBackend::CloneMerge`] (`tests/table_equivalence.rs`);
+//! * the engine loop — [`EngineKind::Parallel`] (same-tick batch drain,
+//!   read-only per-receiver reception compute fanned across
+//!   `std::thread::scope` workers, in-order commit) vs
+//!   [`EngineKind::Serial`] (`tests/engine_equivalence.rs`); select via
+//!   [`SimConfig::with_engine`].
+//!
+//! Single-run memory is flat: the whole deployment's trajectories are
+//! interned into one contiguous [`glr_mobility::DeploymentArena`]
+//! keyframe buffer (spans + per-node segment hints) instead of one heap
+//! `Vec` per node, and all position sampling reads it.
 //!
 //! [`Scenario::large_n_tier`] builds a ready-made 10k-node preset —
 //! paper density via [`SimConfig::paper_scaled`], one cell per built-in
-//! medium; `examples/large_n.rs` runs it and CI smokes it on every push.
+//! medium; `examples/large_n.rs` runs it (CI smokes it at 10k, and at
+//! 100k nodes under `EngineKind::Parallel`) on every push.
+//!
+//! Selecting the engine is one builder call; everything else — results
+//! included — is unchanged:
+//!
+//! ```
+//! use glr_sim::{EngineKind, SimConfig};
+//!
+//! // Reference engine (the default):
+//! let serial = SimConfig::paper_scaled(10_000, 100.0, 1).with_duration(2.0);
+//! // Fan wide beacon receptions across 8 workers; Ctx/Protocol code,
+//! // statistics and fingerprints are identical bit for bit:
+//! let parallel = serial.clone().with_engine(EngineKind::Parallel(8));
+//! assert_eq!(parallel.engine.threads(), 8);
+//! // `parallel_grain` tunes when fan-out engages (never what it computes).
+//! let eager = parallel.with_parallel_grain(64);
+//! eager.validate();
+//! ```
 //!
 //! # Example
 //!
@@ -109,6 +137,7 @@ mod ids;
 mod json;
 pub mod medium;
 pub mod neighbors;
+pub mod queue;
 pub mod report;
 mod runner;
 pub mod scenario;
@@ -120,15 +149,16 @@ mod time;
 mod workload;
 pub mod world;
 
-pub use config::SimConfig;
+pub use config::{EngineKind, SimConfig};
 pub use ids::{MessageId, MessageInfo, NodeId};
 pub use medium::{
-    ContentionMedium, Frame, IdealMedium, Medium, PacketKind, QueueFull, ShadowingMedium,
-    ShadowingParams, TxResolution, SHADOWING_FADE_LOSS,
+    ContentionMedium, DutyCycledMedium, Frame, IdealMedium, Medium, PacketKind, QueueFull,
+    ShadowingMedium, ShadowingParams, TxResolution, DUTY_SLEEP_DROP, SHADOWING_FADE_LOSS,
 };
 pub use neighbors::{
     BeaconSnapshot, NeighborEntry, NeighborTables, NeighborsIter, NeighborsView, TableBackend,
 };
+pub use queue::TimedQueue;
 pub use report::{CellReport, ReportSet, RunMetrics};
 pub use runner::MultiRun;
 pub use scenario::{MediumKind, Scenario, WorkloadSpec};

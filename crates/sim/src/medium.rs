@@ -65,10 +65,11 @@ pub struct Frame<Pk> {
 /// by the medium.
 #[derive(Debug)]
 pub enum TxResolution<Pk> {
-    /// The frame arrived: the engine delivers `packet` to `to` and then
-    /// asks the medium to start the sender's next queued frame. All
-    /// data/control accounting is the medium's job, done before
-    /// returning this.
+    /// The frame arrived: the engine counts the delivery (data vs
+    /// control, from `kind`), hands `packet` to `to`, and then asks the
+    /// medium to start the sender's next queued frame. Accounting lives
+    /// in the engine so that wrapper media (e.g. [`DutyCycledMedium`])
+    /// can veto an inner medium's delivery without unwinding statistics.
     Delivered {
         /// Receiving node.
         to: NodeId,
@@ -78,6 +79,8 @@ pub enum TxResolution<Pk> {
         /// sender's position from any overheard frame, as in the paper's
         /// IMEP adaptation).
         from_pos: Point2,
+        /// Data or control, for the engine's delivery accounting.
+        kind: PacketKind,
     },
     /// The frame is definitively lost (retry budget exhausted or receiver
     /// out of range); the engine starts the sender's next queued frame.
@@ -201,18 +204,15 @@ impl<Pk> Radio<Pk> {
     }
 }
 
-/// Counts a delivered frame (data vs control) and builds the
-/// [`TxResolution::Delivered`] the engine expects — the accounting every
-/// medium must perform before reporting a delivery.
-fn deliver<Pk>(world: &mut World, frame: Frame<Pk>, from_pos: Point2) -> TxResolution<Pk> {
-    match frame.kind {
-        PacketKind::Data => world.stats().data_tx += 1,
-        PacketKind::Control => world.stats().control_tx += 1,
-    }
+/// Builds the [`TxResolution::Delivered`] the engine expects; the engine
+/// performs the data/control delivery accounting when it processes the
+/// resolution (so wrapper media can still veto the delivery).
+fn deliver<Pk>(frame: Frame<Pk>, from_pos: Point2) -> TxResolution<Pk> {
     TxResolution::Delivered {
         to: frame.to,
         packet: frame.packet,
         from_pos,
+        kind: frame.kind,
     }
 }
 
@@ -312,7 +312,7 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ContentionMedium<Pk> {
             return TxResolution::Lost;
         }
 
-        deliver(world, frame, pos_u)
+        deliver(frame, pos_u)
     }
 
     fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
@@ -383,7 +383,7 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for IdealMedium<Pk> {
     fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
         let frame = self.radios[from.index()].take_in_flight();
         let from_pos = world.pos(from);
-        deliver(world, frame, from_pos)
+        deliver(frame, from_pos)
     }
 
     fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
@@ -527,7 +527,7 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ShadowingMedium<Pk> {
             return TxResolution::Lost;
         }
 
-        deliver(world, frame, pos_u)
+        deliver(frame, pos_u)
     }
 
     fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
@@ -542,5 +542,147 @@ impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for ShadowingMedium<Pk> {
 
     fn queue_len(&self, node: NodeId) -> usize {
         self.radios[node.index()].queue_len()
+    }
+}
+
+/// Counter key under which [`DutyCycledMedium`] reports frames dropped
+/// because the receiver's radio was asleep, in
+/// [`crate::RunStats::counters`].
+pub const DUTY_SLEEP_DROP: &str = "medium.duty_sleep_drop";
+
+/// A duty-cycled radio: wraps any inner [`Medium`] and drops frames that
+/// *arrive* while the receiving node's radio is asleep.
+///
+/// Each node's radio wakes for the first `on_fraction` of every `period`
+/// seconds, with a deterministic per-node phase offset (golden-ratio
+/// staggering, so sleep windows are spread instead of synchronised
+/// network-wide). The schedule is a pure function of `(node, time)` — no
+/// randomness — which trivially preserves the determinism contract, and
+/// the wrapper delegates queueing, serialisation, contention and loss
+/// modelling entirely to the inner medium: a frame must first survive
+/// the inner model, then find its receiver awake.
+///
+/// Dropped-at-sleep frames are counted under [`DUTY_SLEEP_DROP`] and are
+/// *not* retried: the transmitter's MAC saw no collision and moves on,
+/// which is exactly the silent-loss failure mode that makes aggressive
+/// duty cycling expensive for beacon-driven protocols. Engine-level
+/// beacons bypass the [`Medium`] trait (the engine computes their
+/// receiver sets geometrically), so duty cycling here models the *data
+/// plane*: unicast data and protocol control frames.
+///
+/// Built declaratively via [`crate::MediumKind::DutyCycled`].
+pub struct DutyCycledMedium<Pk> {
+    inner: Box<dyn Medium<Pk>>,
+    on_fraction: f64,
+    period: f64,
+}
+
+impl<Pk> DutyCycledMedium<Pk> {
+    /// Wraps `inner` with an `on_fraction`/`period` sleep schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < on_fraction <= 1` and `period` is positive and
+    /// finite.
+    pub fn new(inner: Box<dyn Medium<Pk>>, on_fraction: f64, period: f64) -> Self {
+        assert!(
+            on_fraction > 0.0 && on_fraction <= 1.0,
+            "on_fraction must be in (0, 1], got {on_fraction}"
+        );
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "period must be positive and finite, got {period}"
+        );
+        DutyCycledMedium {
+            inner,
+            on_fraction,
+            period,
+        }
+    }
+
+    /// Whether `node`'s radio is awake at `now`: within the first
+    /// `on_fraction` of its (phase-staggered) period.
+    pub fn awake(&self, node: NodeId, now: SimTime) -> bool {
+        // Low bits of the golden ratio spread phases maximally evenly.
+        let phase = (node.0 as f64 * 0.618_033_988_749_894_9).fract() * self.period;
+        let local = (now.as_secs() + phase) % self.period;
+        local < self.on_fraction * self.period
+    }
+}
+
+impl<Pk> std::fmt::Debug for DutyCycledMedium<Pk> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DutyCycledMedium")
+            .field("on_fraction", &self.on_fraction)
+            .field("period", &self.period)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<Pk: Clone + std::fmt::Debug> Medium<Pk> for DutyCycledMedium<Pk> {
+    fn enqueue(
+        &mut self,
+        world: &mut World,
+        from: NodeId,
+        frame: Frame<Pk>,
+    ) -> Result<Option<SimTime>, QueueFull> {
+        self.inner.enqueue(world, from, frame)
+    }
+
+    fn tx_complete(&mut self, world: &mut World, from: NodeId) -> TxResolution<Pk> {
+        match self.inner.tx_complete(world, from) {
+            TxResolution::Delivered { to, .. } if !self.awake(to, world.now()) => {
+                world.stats().count_event(DUTY_SLEEP_DROP);
+                TxResolution::Lost
+            }
+            resolution => resolution,
+        }
+    }
+
+    fn start_next(&mut self, world: &mut World, from: NodeId) -> Option<SimTime> {
+        self.inner.start_next(world, from)
+    }
+
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.inner.queue_len(node)
+    }
+}
+
+#[cfg(test)]
+mod duty_tests {
+    use super::*;
+
+    #[test]
+    fn wake_windows_cover_on_fraction() {
+        let m: DutyCycledMedium<()> =
+            DutyCycledMedium::new(Box::new(IdealMedium::new(4)), 0.25, 1.0);
+        for node in [NodeId(0), NodeId(1), NodeId(2), NodeId(3)] {
+            let awake = (0..1000)
+                .filter(|i| m.awake(node, SimTime::from_secs(*i as f64 * 0.01)))
+                .count();
+            // 25% on-time, sampled over 10 periods.
+            assert!((200..=300).contains(&awake), "node {node:?}: {awake}");
+        }
+        // Phases are staggered: node 0 and node 1 differ somewhere.
+        assert!((0..100).any(|i| {
+            let t = SimTime::from_secs(i as f64 * 0.01);
+            m.awake(NodeId(0), t) != m.awake(NodeId(1), t)
+        }));
+    }
+
+    #[test]
+    fn full_on_fraction_never_sleeps() {
+        let m: DutyCycledMedium<()> =
+            DutyCycledMedium::new(Box::new(IdealMedium::new(2)), 1.0, 5.0);
+        for i in 0..500 {
+            assert!(m.awake(NodeId(1), SimTime::from_secs(i as f64 * 0.1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "on_fraction")]
+    fn zero_on_fraction_rejected() {
+        let _: DutyCycledMedium<()> =
+            DutyCycledMedium::new(Box::new(IdealMedium::new(2)), 0.0, 1.0);
     }
 }

@@ -328,6 +328,86 @@ impl NeighborTables {
         }
     }
 
+    /// [`NeighborTables::record_beacon`] for a whole receiver set at
+    /// once, with the per-receiver merges fanned across `workers`
+    /// scoped threads in fixed chunks — the compute phase of the
+    /// engine's deterministic parallel reception.
+    ///
+    /// `receivers` must be strictly ascending (the order
+    /// [`crate::World::nodes_within`] returns). `was_fresh` is cleared
+    /// and filled with one flag per receiver, exactly the values a
+    /// sequential `record_beacon` loop would have returned.
+    ///
+    /// **Why this is deterministic.** Each receiver's merge touches only
+    /// that receiver's table (disjoint `&mut` access, enforced by the
+    /// type system via slice splitting), draws no randomness, and
+    /// touches no statistics; merges of distinct receivers therefore
+    /// commute, and running them concurrently is observably identical to
+    /// the ascending-order sequential loop. The engine keeps everything
+    /// order-sensitive — protocol hooks, stats, event scheduling — in
+    /// its in-order commit phase.
+    pub fn record_beacon_batch(
+        &mut self,
+        receivers: &[NodeId],
+        sender: NeighborEntry,
+        snapshot: &BeaconSnapshot,
+        now: SimTime,
+        workers: usize,
+        was_fresh: &mut Vec<bool>,
+    ) {
+        debug_assert!(
+            receivers.windows(2).all(|w| w[0] < w[1]),
+            "receivers must be strictly ascending"
+        );
+        was_fresh.clear();
+        if workers <= 1 || receivers.len() < 2 {
+            for &v in receivers {
+                was_fresh.push(self.record_beacon(v, sender, snapshot, now));
+            }
+            return;
+        }
+        was_fresh.resize(receivers.len(), false);
+        let chunk = receivers.len().div_ceil(workers);
+        match &mut self.backend {
+            Backend::Shared(t) => {
+                let horizon = now.as_secs() - t.ttl;
+                let mut tables = disjoint_muts(&mut t.nodes, receivers);
+                std::thread::scope(|scope| {
+                    for (tc, fc) in tables.chunks_mut(chunk).zip(was_fresh.chunks_mut(chunk)) {
+                        scope.spawn(move || {
+                            for (table, fresh) in tc.iter_mut().zip(fc.iter_mut()) {
+                                *fresh = table.record_beacon(sender, snapshot, horizon);
+                            }
+                        });
+                    }
+                });
+            }
+            Backend::CloneMerge(t) => {
+                let horizon = t.horizon(now);
+                let snapshot = snapshot.entries();
+                let mut ones = disjoint_muts(&mut t.one_hop, receivers);
+                let mut twos = disjoint_muts(&mut t.two_hop, receivers);
+                std::thread::scope(|scope| {
+                    for ((oc, tc), (rc, fc)) in ones
+                        .chunks_mut(chunk)
+                        .zip(twos.chunks_mut(chunk))
+                        .zip(receivers.chunks(chunk).zip(was_fresh.chunks_mut(chunk)))
+                    {
+                        scope.spawn(move || {
+                            for (((one, two), &receiver), fresh) in
+                                oc.iter_mut().zip(tc.iter_mut()).zip(rc).zip(fc.iter_mut())
+                            {
+                                *fresh = CloneTables::record_beacon_at(
+                                    one, two, receiver, sender, snapshot, horizon,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
     /// Records that `receiver` heard a (data or control) frame from the
     /// node described by `entry`: hearing any frame refreshes the
     /// receiver's 1-hop entry for the sender — data exchange doubles as
@@ -340,14 +420,38 @@ impl NeighborTables {
     }
 }
 
+/// Disjoint mutable references to `slice[ids[0]], slice[ids[1]], …` for
+/// strictly ascending ids, extracted by repeated `split_at_mut` — the
+/// safe-Rust form of handing each parallel reception worker its own
+/// receivers' tables.
+fn disjoint_muts<'a, T>(mut slice: &'a mut [T], ids: &[NodeId]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(ids.len());
+    let mut base = 0usize;
+    for id in ids {
+        let i = id.index() - base;
+        let (head, tail) = slice.split_at_mut(i + 1);
+        out.push(&mut head[i]);
+        base += i + 1;
+        slice = tail;
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Shared backend
 // ---------------------------------------------------------------------------
 
 /// Sweep a node's table once this many mutations have accumulated (and
-/// at least as many as the table holds) — classic amortisation, so no
-/// single beacon reception pays for a full-table rebuild.
+/// at least [`SWEEP_SLACK`] × the table's size) — classic amortisation,
+/// so no single beacon reception pays for a full-table rebuild.
 const MIN_SWEEP_OPS: usize = 32;
+
+/// Mutations per table entry between physical sweeps. Sweeping is
+/// unobservable (it drops only entries no fresh query can return), so
+/// this trades a bounded amount of zombie/orphan memory for doing the
+/// O(table) compaction — with its hash probe per entry — four times
+/// less often than the steady-state beacon rate.
+const SWEEP_SLACK: usize = 4;
 
 #[derive(Debug)]
 struct SharedTables {
@@ -360,17 +464,32 @@ struct SharedTables {
     snap_scratch: Vec<NeighborEntry>,
 }
 
+/// "This peer has no (live or zombie) slot in `order`."
+const NO_SLOT: u32 = u32::MAX;
+
+/// Everything a node knows about one peer: where its 1-hop entry sits
+/// and the latest beacon snapshot heard from it. Keeping both behind
+/// **one** hash lookup is what makes a beacon reception cheap — the
+/// previous two-map layout (`id → slot` plus `id → snapshot`) paid two
+/// hashed probes into two scattered tables per reception, and those
+/// cache misses dominated the dense-regime beacon storm.
+#[derive(Debug)]
+struct PeerState {
+    /// Current slot in `order`, or [`NO_SLOT`].
+    slot: u32,
+    /// Latest beacon snapshot from this peer (the receiving node's 2-hop
+    /// knowledge). An `Arc` clone of the sender-side materialisation.
+    snap: Option<BeaconSnapshot>,
+}
+
 #[derive(Debug, Default)]
 struct NodeTable {
     /// 1-hop entries in *revival order* (the order the reference backend
     /// keeps physically): live entries plus trailing zombies/orphans
     /// that are swept out lazily and can never surface in a fresh view.
     order: Vec<NeighborEntry>,
-    /// id → current slot in `order`.
-    index: NodeMap<usize>,
-    /// Latest beacon snapshot per 1-hop sender (the node's 2-hop
-    /// knowledge). An `Arc` clone of the sender-side materialisation.
-    snaps: NodeMap<BeaconSnapshot>,
+    /// id → slot + latest snapshot, one probe per reception.
+    peers: NodeMap<PeerState>,
     /// TTL horizon (seconds) of the most recent `record_beacon` — the
     /// moment the reference backend last garbage-collected this node's
     /// tables. Entries older than this are "zombies": physically present
@@ -399,31 +518,74 @@ impl NodeTable {
     fn upsert(&mut self, entry: NeighborEntry) {
         self.gen += 1;
         self.ops += 1;
-        match self.index.get(&entry.id).copied() {
-            Some(i) if self.order[i].heard_at.as_secs() >= self.gc_horizon => {
-                if entry.heard_at >= self.order[i].heard_at {
-                    self.order[i] = entry;
-                }
+        let order = &mut self.order;
+        let gc_horizon = self.gc_horizon;
+        let st = self.peers.entry(entry.id).or_insert(PeerState {
+            slot: NO_SLOT,
+            snap: None,
+        });
+        let i = st.slot as usize;
+        if st.slot != NO_SLOT && order[i].heard_at.as_secs() >= gc_horizon {
+            // Live: freshest-wins in place, keeping the slot.
+            if entry.heard_at >= order[i].heard_at {
+                order[i] = entry;
             }
-            Some(_zombie) => {
-                // The stale slot stays behind as an orphan until the next
-                // sweep; it can never surface (its heard_at is below every
-                // future query horizon).
-                self.index.insert(entry.id, self.order.len());
-                self.order.push(entry);
-            }
-            None => {
-                self.index.insert(entry.id, self.order.len());
-                self.order.push(entry);
-            }
+        } else {
+            // Zombie or absent: (re-)append at the end; a stale slot
+            // stays behind as an orphan until the next sweep (it can
+            // never surface — its heard_at is below every future query
+            // horizon).
+            st.slot = order.len() as u32;
+            order.push(entry);
         }
+    }
+
+    /// The per-receiver beacon merge: freshest-wins upsert of the
+    /// sender, latest-snapshot-per-sender store, GC-horizon advance and
+    /// amortised sweep — all off a single `peers` probe. Touches only
+    /// this table — the property the engine's parallel reception phase
+    /// relies on to fan receivers of one beacon across threads with
+    /// disjoint `&mut` access.
+    fn record_beacon(
+        &mut self,
+        sender: NeighborEntry,
+        snapshot: &BeaconSnapshot,
+        horizon: f64,
+    ) -> bool {
+        let order = &mut self.order;
+        let gc_horizon = self.gc_horizon;
+        let st = self.peers.entry(sender.id).or_insert(PeerState {
+            slot: NO_SLOT,
+            snap: None,
+        });
+        let i = st.slot as usize;
+        let was_fresh = st.slot != NO_SLOT && order[i].heard_at.as_secs() >= horizon;
+        if st.slot != NO_SLOT && order[i].heard_at.as_secs() >= gc_horizon {
+            // Live: freshest-wins in place, keeping the slot.
+            if sender.heard_at >= order[i].heard_at {
+                order[i] = sender;
+            }
+        } else {
+            // Zombie (observably GC'd) or absent: (re-)append at the
+            // end, like the reference after its physical removal.
+            st.slot = order.len() as u32;
+            order.push(sender);
+        }
+        st.snap = Some(snapshot.clone());
+        // This is the reference backend's GC moment: from here on,
+        // anything older than `horizon` is observably deleted.
+        self.gc_horizon = self.gc_horizon.max(horizon);
+        self.gen += 1;
+        self.ops += 1;
+        self.maybe_sweep();
+        was_fresh
     }
 
     /// Physically removes zombies, orphans and expired snapshots once
     /// enough mutations have amortised the cost. Unobservable: it drops
     /// only entries no fresh query could return.
     fn maybe_sweep(&mut self) {
-        if self.ops < MIN_SWEEP_OPS.max(self.order.len()) {
+        if self.ops < MIN_SWEEP_OPS.max(self.order.len() * SWEEP_SLACK) {
             return;
         }
         self.ops = 0;
@@ -431,17 +593,27 @@ impl NodeTable {
         let mut kept = 0;
         for i in 0..self.order.len() {
             let e = self.order[i];
-            let current = self.index.get(&e.id) == Some(&i);
-            if current && e.heard_at.as_secs() >= horizon {
+            let Some(st) = self.peers.get_mut(&e.id) else {
+                continue;
+            };
+            if st.slot != i as u32 {
+                continue; // orphaned duplicate slot
+            }
+            if e.heard_at.as_secs() >= horizon {
                 self.order[kept] = e;
-                self.index.insert(e.id, kept);
+                st.slot = kept as u32;
                 kept += 1;
-            } else if current {
-                self.index.remove(&e.id);
+            } else {
+                st.slot = NO_SLOT;
             }
         }
         self.order.truncate(kept);
-        self.snaps.retain(|_, s| s.max_heard >= horizon);
+        self.peers.retain(|_, st| {
+            if st.snap.as_ref().is_some_and(|s| s.max_heard < horizon) {
+                st.snap = None;
+            }
+            st.slot != NO_SLOT || st.snap.is_some()
+        });
     }
 }
 
@@ -505,7 +677,8 @@ impl SharedTables {
         for e in &t.order {
             merge(e);
         }
-        for snap in t.snaps.values() {
+        for st in t.peers.values() {
+            let Some(snap) = &st.snap else { continue };
             if snap.max_heard < horizon {
                 continue;
             }
@@ -528,32 +701,7 @@ impl SharedTables {
         now: SimTime,
     ) -> bool {
         let horizon = now.as_secs() - self.ttl;
-        let t = &mut self.nodes[receiver.index()];
-        // One index lookup serves both the freshness test and the upsert.
-        let slot = t.index.get(&sender.id).copied();
-        let was_fresh = slot.is_some_and(|i| t.order[i].heard_at.as_secs() >= horizon);
-        match slot {
-            // Live: freshest-wins in place, keeping the slot.
-            Some(i) if t.order[i].heard_at.as_secs() >= t.gc_horizon => {
-                if sender.heard_at >= t.order[i].heard_at {
-                    t.order[i] = sender;
-                }
-            }
-            // Zombie (observably GC'd) or absent: (re-)append at the end,
-            // like the reference after its physical removal.
-            _ => {
-                t.index.insert(sender.id, t.order.len());
-                t.order.push(sender);
-            }
-        }
-        t.snaps.insert(sender.id, snapshot.clone());
-        // This is the reference backend's GC moment: from here on,
-        // anything older than `horizon` is observably deleted.
-        t.gc_horizon = t.gc_horizon.max(horizon);
-        t.gen += 1;
-        t.ops += 1;
-        t.maybe_sweep();
-        was_fresh
+        self.nodes[receiver.index()].record_beacon(sender, snapshot, horizon)
     }
 
     fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
@@ -641,18 +789,39 @@ impl CloneTables {
     ) -> bool {
         let horizon = self.horizon(now);
         let vi = receiver.index();
-        let was_fresh = self.one_hop[vi]
+        Self::record_beacon_at(
+            &mut self.one_hop[vi],
+            &mut self.two_hop[vi],
+            receiver,
+            sender,
+            snapshot,
+            horizon,
+        )
+    }
+
+    /// The per-receiver merge on one `(one_hop, two_hop)` table pair —
+    /// split out so the parallel reception phase can run it over
+    /// disjoint `&mut` table pairs.
+    fn record_beacon_at(
+        one_hop: &mut Vec<NeighborEntry>,
+        two_hop: &mut Vec<NeighborEntry>,
+        receiver: NodeId,
+        sender: NeighborEntry,
+        snapshot: &[NeighborEntry],
+        horizon: f64,
+    ) -> bool {
+        let was_fresh = one_hop
             .iter()
             .any(|e| e.id == sender.id && e.heard_at.as_secs() >= horizon);
-        Self::upsert(&mut self.one_hop[vi], sender);
+        Self::upsert(one_hop, sender);
         for e in snapshot {
             if e.id != receiver {
-                Self::upsert(&mut self.two_hop[vi], *e);
+                Self::upsert(two_hop, *e);
             }
         }
         // Garbage-collect expired entries to bound memory.
-        self.one_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
-        self.two_hop[vi].retain(|e| e.heard_at.as_secs() >= horizon);
+        one_hop.retain(|e| e.heard_at.as_secs() >= horizon);
+        two_hop.retain(|e| e.heard_at.as_secs() >= horizon);
         was_fresh
     }
 

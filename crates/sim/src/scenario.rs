@@ -33,7 +33,9 @@
 
 use crate::config::SimConfig;
 use crate::ids::NodeId;
-use crate::medium::{ContentionMedium, IdealMedium, Medium, ShadowingMedium, ShadowingParams};
+use crate::medium::{
+    ContentionMedium, DutyCycledMedium, IdealMedium, Medium, ShadowingMedium, ShadowingParams,
+};
 use crate::sim::{Protocol, Simulation};
 use crate::stats::RunStats;
 use crate::workload::Workload;
@@ -44,7 +46,7 @@ use crate::workload::Workload;
 /// that names a built-in medium and can be stored in a scenario, printed,
 /// compared, and expanded along a sweep axis. Custom media keep using
 /// [`Simulation::with_medium`] directly.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MediumKind {
     /// [`ContentionMedium`] — the paper's NS-2-calibrated 802.11 model
     /// (the default).
@@ -55,12 +57,33 @@ pub enum MediumKind {
     /// [`ShadowingMedium`] — log-distance path loss with per-frame
     /// log-normal shadowing.
     Shadowing(ShadowingParams),
+    /// [`DutyCycledMedium`] — any inner medium, with radios that sleep
+    /// for the back `1 - on_fraction` of every `period` seconds and drop
+    /// frames arriving during sleep.
+    DutyCycled {
+        /// The wrapped medium (usually [`MediumKind::Contention`]).
+        inner: Box<MediumKind>,
+        /// Fraction of each period the radio is awake, in `(0, 1]`.
+        on_fraction: f64,
+        /// Sleep/wake cycle length in seconds.
+        period: f64,
+    },
 }
 
 impl MediumKind {
     /// The shadowing medium with default parameters.
     pub fn shadowing() -> Self {
         MediumKind::Shadowing(ShadowingParams::default())
+    }
+
+    /// A duty-cycled wrapper around `inner` with the given wake fraction
+    /// and period.
+    pub fn duty_cycled(inner: MediumKind, on_fraction: f64, period: f64) -> Self {
+        MediumKind::DutyCycled {
+            inner: Box::new(inner),
+            on_fraction,
+            period,
+        }
     }
 
     /// Instantiates the medium for `n_nodes` radios.
@@ -72,16 +95,26 @@ impl MediumKind {
             MediumKind::Contention => Box::new(ContentionMedium::new(n_nodes)),
             MediumKind::Ideal => Box::new(IdealMedium::new(n_nodes)),
             MediumKind::Shadowing(p) => Box::new(ShadowingMedium::new(n_nodes, *p)),
+            MediumKind::DutyCycled {
+                inner,
+                on_fraction,
+                period,
+            } => Box::new(DutyCycledMedium::new(
+                inner.build(n_nodes),
+                *on_fraction,
+                *period,
+            )),
         }
     }
 
-    /// A short stable name (`"contention"`, `"ideal"`, `"shadowing"`) for
-    /// labels and CLI flags.
+    /// A short stable name (`"contention"`, `"ideal"`, `"shadowing"`,
+    /// `"duty-cycled"`) for labels and CLI flags.
     pub fn name(&self) -> &'static str {
         match self {
             MediumKind::Contention => "contention",
             MediumKind::Ideal => "ideal",
             MediumKind::Shadowing(_) => "shadowing",
+            MediumKind::DutyCycled { .. } => "duty-cycled",
         }
     }
 }
@@ -306,7 +339,7 @@ mod tests {
         ] {
             let sc = Scenario::new(format!("m-{medium}"), base())
                 .with_messages(10)
-                .with_medium(medium);
+                .with_medium(medium.clone());
             let stats = sc.run(|_, _| Direct);
             assert_eq!(stats.messages_created(), 10, "medium {medium}");
             if medium == MediumKind::Ideal {

@@ -17,13 +17,22 @@
 //! * [`crate::neighbors`] — IMEP-style beacon sensing maintaining stale
 //!   1- and 2-hop neighbour tables.
 //!
-//! The engine itself (this module) only sequences events: it pops the
-//! next event, advances the clock, and dispatches to the medium, the
-//! neighbour tables, the workload, or a protocol hook. Protocols
-//! implement [`Protocol`] and interact with the world through [`Ctx`].
-//! All randomness flows from the seed in [`crate::SimConfig`], so a run
-//! is a pure function of `(config, workload, protocol, seed)` — under
-//! either spatial-index backend and any conforming medium.
+//! The engine itself (this module) only sequences events: it drains
+//! everything due at the next timestamp into a batch (time-then-FIFO
+//! order preserved), advances the clock, and dispatches each event to
+//! the medium, the neighbour tables, the workload, or a protocol hook.
+//! Under [`crate::EngineKind::Parallel`] a wide beacon's per-receiver
+//! reception merges — disjoint, randomness-free, statistics-free — are
+//! fanned across `std::thread::scope` workers in fixed chunks, and
+//! everything order-sensitive (protocol hooks, stats, scheduling)
+//! commits in the exact sequential order afterwards; the serial engine
+//! remains the reference and both are bit-identical for any thread
+//! count (`tests/engine_equivalence.rs`). Protocols implement
+//! [`Protocol`] and interact with the world through [`Ctx`]. All
+//! randomness flows from the seed in [`crate::SimConfig`], so a run is
+//! a pure function of `(config, workload, protocol, seed)` — under
+//! either spatial-index backend, either engine, and any conforming
+//! medium.
 
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
@@ -262,6 +271,13 @@ pub struct Simulation<P: Protocol> {
     protocols: Vec<Option<P>>,
     workload: Workload,
     message_ids: Vec<MessageId>,
+    /// Reusable same-tick event batch (drained from the queue per loop
+    /// turn, so a timestamp's events are one visible unit of work).
+    batch: Vec<EventKind>,
+    /// Reusable receiver buffer for beacon events.
+    receivers: Vec<NodeId>,
+    /// Reusable per-receiver freshness flags for batched reception.
+    fresh: Vec<bool>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -346,6 +362,9 @@ impl<P: Protocol> Simulation<P> {
             protocols,
             workload,
             message_ids,
+            batch: Vec::new(),
+            receivers: Vec::new(),
+            fresh: Vec::new(),
         }
     }
 
@@ -394,34 +413,46 @@ impl<P: Protocol> Simulation<P> {
             });
         }
 
+        // Batched same-tick delivery: drain *everything* due at one
+        // timestamp (FIFO order preserved), then dispatch the batch in
+        // order. Events a handler schedules at the same timestamp carry
+        // later sequence numbers, so they drain on the next loop turn —
+        // after the current batch, exactly where the one-at-a-time
+        // reference loop would run them. The batch buffer is reused
+        // across the whole run.
+        let mut batch = std::mem::take(&mut self.batch);
         while let Some(at) = self.core.events.next_at() {
             if at.as_secs() > duration {
                 break;
             }
-            let ev = self.core.events.pop().expect("peeked event vanished");
-            self.core.world.now = ev.at;
-            match ev.kind {
-                EventKind::Beacon(u) => self.handle_beacon(u),
-                EventKind::TxComplete(u) => self.handle_tx_complete(u),
-                EventKind::Timer(u, token) => {
-                    Self::with_protocol(&mut self.core, &mut self.protocols, u, |p, ctx| {
-                        p.on_timer(ctx, token)
-                    });
-                }
-                EventKind::Inject(i) => self.handle_inject(i as usize),
-                EventKind::StatsSample => {
-                    for i in 0..n {
-                        let used = self.protocols[i]
-                            .as_ref()
-                            .expect("protocol present")
-                            .storage_used();
-                        self.core.world.stats.sample_storage(NodeId(i as u32), used);
+            batch.clear();
+            self.core.events.drain_due(at, &mut batch);
+            self.core.world.now = at;
+            for &ev in &batch {
+                match ev {
+                    EventKind::Beacon(u) => self.handle_beacon(u),
+                    EventKind::TxComplete(u) => self.handle_tx_complete(u),
+                    EventKind::Timer(u, token) => {
+                        Self::with_protocol(&mut self.core, &mut self.protocols, u, |p, ctx| {
+                            p.on_timer(ctx, token)
+                        });
                     }
-                    let next = self.core.world.now + self.core.world.config.stats_interval;
-                    self.core.events.schedule(next, EventKind::StatsSample);
+                    EventKind::Inject(i) => self.handle_inject(i as usize),
+                    EventKind::StatsSample => {
+                        for i in 0..n {
+                            let used = self.protocols[i]
+                                .as_ref()
+                                .expect("protocol present")
+                                .storage_used();
+                            self.core.world.stats.sample_storage(NodeId(i as u32), used);
+                        }
+                        let next = self.core.world.now + self.core.world.config.stats_interval;
+                        self.core.events.schedule(next, EventKind::StatsSample);
+                    }
                 }
             }
         }
+        self.batch = batch;
         self.core.world.stats
     }
 
@@ -429,7 +460,10 @@ impl<P: Protocol> Simulation<P> {
         let now = self.core.world.now;
         let pos_u = self.core.world.pos(u);
         let range = self.core.world.config.radio_range;
-        let receivers = self.core.world.nodes_within(pos_u, range, u);
+        let mut receivers = std::mem::take(&mut self.receivers);
+        self.core
+            .world
+            .nodes_within_into(pos_u, range, u, &mut receivers);
         // Snapshot of u's one-hop table rides along in the beacon (2-hop
         // info) — materialised once and shared by every receiver.
         let snapshot = self.core.tables.beacon_snapshot(u, now);
@@ -440,16 +474,36 @@ impl<P: Protocol> Simulation<P> {
             pos: pos_u,
             heard_at: now,
         };
-        for v in receivers {
-            let was_fresh = self.core.tables.record_beacon(v, sender, &snapshot, now);
-            if !was_fresh {
+        // Deterministic (possibly parallel) reception. Compute phase:
+        // the per-receiver snapshot merges commute (each touches only
+        // its receiver's table, draws no randomness, counts no
+        // statistics), so fanning them across scoped workers in fixed
+        // chunks — engaged only for receiver sets wide enough to repay
+        // thread dispatch — is observably identical to the single-worker
+        // ascending loop. Commit phase: everything order-sensitive —
+        // new-contact protocol hooks, with their sends, timers and RNG
+        // draws — replays in exact sequential order.
+        let threads = self.core.world.config.engine.threads();
+        let workers = if threads > 1 && receivers.len() >= self.core.world.config.parallel_grain {
+            threads
+        } else {
+            1
+        };
+        let mut fresh = std::mem::take(&mut self.fresh);
+        self.core
+            .tables
+            .record_beacon_batch(&receivers, sender, &snapshot, now, workers, &mut fresh);
+        for (i, &v) in receivers.iter().enumerate() {
+            if !fresh[i] {
                 Self::with_protocol(&mut self.core, &mut self.protocols, v, |p, ctx| {
                     p.on_neighbor_appeared(ctx, u)
                 });
             }
         }
+        self.fresh = fresh;
         let next = now + self.core.world.config.beacon_interval;
         self.core.events.schedule(next, EventKind::Beacon(u));
+        self.receivers = receivers;
     }
 
     fn handle_tx_complete(&mut self, u: NodeId) {
@@ -462,7 +516,14 @@ impl<P: Protocol> Simulation<P> {
                 to,
                 packet,
                 from_pos,
+                kind,
             } => {
+                // Delivery accounting is the engine's job (media build
+                // the resolution; wrappers may veto it).
+                match kind {
+                    PacketKind::Data => self.core.world.stats.data_tx += 1,
+                    PacketKind::Control => self.core.world.stats.control_tx += 1,
+                }
                 // Hearing a frame also refreshes the receiver's entry for
                 // the sender.
                 self.core.tables.heard_frame(

@@ -26,7 +26,7 @@ use crate::config::SimConfig;
 use crate::ids::NodeId;
 use crate::time::SimTime;
 use glr_geometry::{Grid, Point2};
-use glr_mobility::Trajectory;
+use glr_mobility::DeploymentArena;
 
 /// Which data structure backs the engine's neighbor queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,24 +46,34 @@ pub enum IndexBackend {
 /// depends on it being tight.
 const DRIFT_EPSILON: f64 = 1e-6;
 
-/// A drift-compensated spatial index over the deployment's trajectories.
+/// Fraction of the effective cell size the drift bound may reach before
+/// the grid snapshot is rebuilt. Rebuild cadence is unobservable (the
+/// drift-inflated query stays exact at any staleness); the trade is pure
+/// performance: smaller values rebuild more often but keep the inflated
+/// query radius — and with it the candidate set every exact filter must
+/// walk — tight. Rebuilds reuse the grid's bucket allocations
+/// ([`Grid::rebuild`]), so leaning toward frequent rebuilds is cheap.
+const SLACK_FRACTION: f64 = 0.1;
+
+/// A drift-compensated spatial index over the deployment's interned
+/// trajectory arena.
 ///
 /// # Examples
 ///
 /// ```
 /// use glr_sim::{IndexBackend, NodeId, SimTime, SpatialIndex};
 /// use glr_geometry::Point2;
-/// use glr_mobility::Trajectory;
+/// use glr_mobility::{DeploymentArena, Trajectory};
 ///
-/// let trajs = vec![
+/// let arena = DeploymentArena::from_trajectories(&[
 ///     Trajectory::stationary(Point2::new(0.0, 0.0)),
 ///     Trajectory::stationary(Point2::new(30.0, 0.0)),
 ///     Trajectory::stationary(Point2::new(500.0, 0.0)),
-/// ];
-/// let mut idx = SpatialIndex::new(IndexBackend::Grid, trajs.len(), 0.0, 100.0);
+/// ]);
+/// let mut idx = SpatialIndex::new(IndexBackend::Grid, arena.len(), 0.0, 100.0);
 /// let t = SimTime::ZERO;
-/// idx.refresh(t, &trajs);
-/// let near = idx.nodes_within(&trajs, t, Point2::new(0.0, 0.0), 50.0, NodeId(0));
+/// idx.refresh(t, &arena);
+/// let near = idx.nodes_within(&arena, t, Point2::new(0.0, 0.0), 50.0, NodeId(0));
 /// assert_eq!(near, vec![NodeId(1)]);
 /// ```
 #[derive(Debug, Clone)]
@@ -105,7 +115,7 @@ impl SpatialIndex {
             n,
             cell: cell_size,
             max_speed,
-            slack_limit: cell_size * 0.25,
+            slack_limit: cell_size * SLACK_FRACTION,
             built_at: SimTime::ZERO,
             positions: Vec::new(),
             grid: None,
@@ -120,11 +130,16 @@ impl SpatialIndex {
     /// grid exactness).
     pub fn from_config(config: &SimConfig) -> Self {
         let max_speed = config.speed_range.1.max(glr_mobility::SPEED_FLOOR);
+        // Half-radius cells: the scanned cell neighbourhood hugs the
+        // query circle ~2x tighter than radius-sized cells (fewer
+        // candidates for the exact filter), while the CSR grid keeps the
+        // larger cell count cheap to rebuild and walk. Purely a
+        // performance choice — any cell size returns the same sets.
         SpatialIndex::new(
             config.neighbor_index,
             config.n_nodes,
             max_speed,
-            config.radio_range,
+            config.radio_range * 0.5,
         )
     }
 
@@ -136,18 +151,18 @@ impl SpatialIndex {
     /// Brings the index up to date for queries at `now`: rebuilds the
     /// grid snapshot when the drift bound has outgrown its slack. A no-op
     /// for the linear backend.
-    pub fn refresh(&mut self, now: SimTime, trajectories: &[Trajectory]) {
+    pub fn refresh(&mut self, now: SimTime, arena: &DeploymentArena) {
         if self.backend == IndexBackend::LinearScan {
             return;
         }
-        debug_assert_eq!(trajectories.len(), self.n, "trajectory count changed");
+        debug_assert_eq!(arena.len(), self.n, "trajectory count changed");
         if self.grid.is_some() && self.drift(now) <= self.slack_limit {
             return;
         }
         let t = now.as_secs();
         self.positions.clear();
         self.positions
-            .extend(trajectories.iter().map(|tr| tr.position_at(t)));
+            .extend((0..self.n).map(|i| arena.position_at(i, t)));
         // Keep the bucket count O(n): radius-sized cells over a deployment
         // far sparser than the radio range (e.g. a 100 km region with a
         // 1 m radio) would allocate billions of empty buckets. Widening
@@ -158,8 +173,11 @@ impl SpatialIndex {
             .cell
             .max((max.x - min.x) / side_cap)
             .max((max.y - min.y) / side_cap);
-        self.grid = Some(Grid::build(&self.positions, cell_eff));
-        self.slack_limit = cell_eff * 0.25;
+        match &mut self.grid {
+            Some(g) => g.rebuild(&self.positions, cell_eff),
+            None => self.grid = Some(Grid::build(&self.positions, cell_eff)),
+        }
+        self.slack_limit = cell_eff * SLACK_FRACTION;
         self.built_at = now;
     }
 
@@ -172,23 +190,39 @@ impl SpatialIndex {
     /// query; the drift bound keeps any `now ≥ built_at` correct).
     pub fn nodes_within(
         &self,
-        trajectories: &[Trajectory],
+        arena: &DeploymentArena,
         now: SimTime,
         center: Point2,
         range: f64,
         except: NodeId,
     ) -> Vec<NodeId> {
         let mut out = Vec::new();
-        self.for_each_within(trajectories, now, center, range, except, |v| out.push(v));
-        out.sort_unstable();
+        self.nodes_within_into(arena, now, center, range, except, &mut out);
         out
+    }
+
+    /// Like [`SpatialIndex::nodes_within`], but clears and fills a
+    /// caller-owned buffer instead of allocating — the engine reuses one
+    /// buffer across every beacon event.
+    pub fn nodes_within_into(
+        &self,
+        arena: &DeploymentArena,
+        now: SimTime,
+        center: Point2,
+        range: f64,
+        except: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.for_each_within(arena, now, center, range, except, |v| out.push(v));
+        out.sort_unstable();
     }
 
     /// Number of nodes within `range` of `center` at `now` (excluding
     /// `except`) for which `pred` holds.
     pub fn count_within(
         &self,
-        trajectories: &[Trajectory],
+        arena: &DeploymentArena,
         now: SimTime,
         center: Point2,
         range: f64,
@@ -196,7 +230,7 @@ impl SpatialIndex {
         mut pred: impl FnMut(NodeId) -> bool,
     ) -> usize {
         let mut count = 0;
-        self.for_each_within(trajectories, now, center, range, except, |v| {
+        self.for_each_within(arena, now, center, range, except, |v| {
             if pred(v) {
                 count += 1;
             }
@@ -206,7 +240,7 @@ impl SpatialIndex {
 
     fn for_each_within(
         &self,
-        trajectories: &[Trajectory],
+        arena: &DeploymentArena,
         now: SimTime,
         center: Point2,
         range: f64,
@@ -218,7 +252,7 @@ impl SpatialIndex {
         // (and to the historical linear scan), so the backends can never
         // disagree on boundary cases.
         let mut exact = |v: NodeId| {
-            if v != except && trajectories[v.index()].position_at(t).dist(center) <= range {
+            if v != except && arena.position_at(v.index(), t).dist(center) <= range {
                 f(v);
             }
         };
@@ -241,9 +275,11 @@ impl SpatialIndex {
 mod tests {
     use super::*;
 
-    fn moving(trajs: &[(f64, f64, f64, f64)]) -> Vec<Trajectory> {
+    use glr_mobility::Trajectory;
+
+    fn moving(trajs: &[(f64, f64, f64, f64)]) -> DeploymentArena {
         // Each node moves from (x0, y0) to (x1, y1) over 100 s.
-        trajs
+        let trajs: Vec<Trajectory> = trajs
             .iter()
             .map(|&(x0, y0, x1, y1)| {
                 Trajectory::from_keyframes(vec![
@@ -251,7 +287,8 @@ mod tests {
                     (100.0, Point2::new(x1, y1)),
                 ])
             })
-            .collect()
+            .collect();
+        DeploymentArena::from_trajectories(&trajs)
     }
 
     #[test]
@@ -262,10 +299,9 @@ mod tests {
             (400.0, 400.0, 0.0, 0.0),
             (90.0, 10.0, 95.0, 15.0),
         ]);
-        let max_speed = trajs
-            .iter()
-            .map(|t| {
-                let (a, b) = (t.position_at(0.0), t.position_at(100.0));
+        let max_speed = (0..trajs.len())
+            .map(|i| {
+                let (a, b) = (trajs.position_at(i, 0.0), trajs.position_at(i, 100.0));
                 a.dist(b) / 100.0
             })
             .fold(0.0, f64::max);
@@ -278,7 +314,7 @@ mod tests {
             let now = SimTime::from_secs(secs);
             for r in [30.0, 100.0, 250.0] {
                 for except in 0..4u32 {
-                    let c = trajs[except as usize].position_at(secs);
+                    let c = trajs.position_at(except as usize, secs);
                     let got = grid.nodes_within(&trajs, now, c, r, NodeId(except));
                     let want = linear.nodes_within(&trajs, now, c, r, NodeId(except));
                     assert_eq!(got, want, "t={secs} r={r} except={except}");
@@ -290,14 +326,16 @@ mod tests {
     #[test]
     fn refresh_rebuilds_only_after_slack() {
         let trajs = moving(&[(0.0, 0.0, 100.0, 0.0), (10.0, 0.0, 10.0, 0.0)]);
-        // 1 m/s, 100 m cells → 25 m slack → rebuild after 25 s.
+        // 1 m/s, 100 m cells → slack of SLACK_FRACTION·100 m, reached
+        // after SLACK_FRACTION·100 seconds.
+        let slack_secs = 100.0 * SLACK_FRACTION;
         let mut idx = SpatialIndex::new(IndexBackend::Grid, 2, 1.0, 100.0);
         idx.refresh(SimTime::ZERO, &trajs);
         let built = idx.built_at;
-        idx.refresh(SimTime::from_secs(10.0), &trajs);
+        idx.refresh(SimTime::from_secs(slack_secs * 0.5), &trajs);
         assert_eq!(idx.built_at, built, "rebuilt before slack was exceeded");
-        idx.refresh(SimTime::from_secs(60.0), &trajs);
-        assert_eq!(idx.built_at, SimTime::from_secs(60.0));
+        idx.refresh(SimTime::from_secs(slack_secs * 2.0), &trajs);
+        assert_eq!(idx.built_at, SimTime::from_secs(slack_secs * 2.0));
     }
 
     #[test]

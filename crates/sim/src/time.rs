@@ -36,7 +36,18 @@ impl SimTime {
             secs.is_finite() && secs >= 0.0,
             "simulation time must be finite and non-negative, got {secs}"
         );
-        SimTime(secs)
+        // Normalise -0.0 (it passes the assert) to +0.0 so that the IEEE
+        // bit pattern of a SimTime always orders like its value — the
+        // invariant SimTime::key_bits and the event queue rely on.
+        SimTime(secs + 0.0)
+    }
+
+    /// The value's IEEE bit pattern, which for the non-negative finite
+    /// times this type guarantees orders exactly like the value itself —
+    /// a branchless `u64` stand-in for `Ord` on hot comparison paths.
+    #[inline]
+    pub fn key_bits(self) -> u64 {
+        self.0.to_bits()
     }
 
     /// Seconds since simulation start.

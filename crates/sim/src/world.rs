@@ -1,5 +1,5 @@
-//! Shared world state: clock, configuration, trajectories, spatial
-//! index, RNG and statistics.
+//! Shared world state: clock, configuration, the interned trajectory
+//! arena, spatial index, RNG and statistics.
 //!
 //! [`World`] is the slice of engine state that both the engine and the
 //! pluggable [`crate::Medium`] need: a [`Medium`] implementation receives
@@ -9,6 +9,12 @@
 //! [`World::rng`] is what keeps a run a pure function of
 //! `(config, workload, protocol, seed)` regardless of which medium is
 //! plugged in.
+//!
+//! Node mobility lives in a [`DeploymentArena`]: every node's
+//! piecewise-linear trajectory interned into one contiguous keyframe
+//! buffer, so the `position_at` hot path (spatial-index candidate
+//! filtering, medium range checks, grid rebuilds) walks flat memory
+//! instead of chasing one heap allocation per node.
 
 use crate::config::SimConfig;
 use crate::ids::NodeId;
@@ -16,14 +22,14 @@ use crate::space::SpatialIndex;
 use crate::stats::RunStats;
 use crate::time::SimTime;
 use glr_geometry::Point2;
-use glr_mobility::Trajectory;
+use glr_mobility::{DeploymentArena, Trajectory};
 use rand::rngs::StdRng;
 
 /// The simulated world as seen by the engine and the radio medium.
 #[derive(Debug)]
 pub struct World {
     pub(crate) config: SimConfig,
-    pub(crate) trajectories: Vec<Trajectory>,
+    pub(crate) arena: DeploymentArena,
     pub(crate) now: SimTime,
     pub(crate) index: SpatialIndex,
     pub(crate) rng: StdRng,
@@ -32,11 +38,12 @@ pub struct World {
 
 impl World {
     pub(crate) fn new(config: SimConfig, trajectories: Vec<Trajectory>, rng: StdRng) -> Self {
+        let arena = DeploymentArena::from_trajectories(&trajectories);
         let index = SpatialIndex::from_config(&config);
         let stats = RunStats::new(config.n_nodes);
         World {
             config,
-            trajectories,
+            arena,
             now: SimTime::ZERO,
             index,
             rng,
@@ -54,6 +61,11 @@ impl World {
         &self.config
     }
 
+    /// The interned trajectory arena backing all position queries.
+    pub fn arena(&self) -> &DeploymentArena {
+        &self.arena
+    }
+
     /// Ground-truth position of `node` at the current time.
     pub fn pos(&self, node: NodeId) -> Point2 {
         self.pos_at(node, self.now)
@@ -61,15 +73,29 @@ impl World {
 
     /// Ground-truth position of `node` at an arbitrary time.
     pub fn pos_at(&self, node: NodeId, t: SimTime) -> Point2 {
-        self.trajectories[node.index()].position_at(t.as_secs())
+        self.arena.position_at(node.index(), t.as_secs())
     }
 
     /// Nodes currently within `range` of `p`, excluding `except`, in
     /// ascending id order.
     pub fn nodes_within(&mut self, p: Point2, range: f64, except: NodeId) -> Vec<NodeId> {
-        self.index.refresh(self.now, &self.trajectories);
+        let mut out = Vec::new();
+        self.nodes_within_into(p, range, except, &mut out);
+        out
+    }
+
+    /// Like [`World::nodes_within`], but clears and fills a caller-owned
+    /// buffer — the allocation-free form the engine's beacon loop uses.
+    pub fn nodes_within_into(
+        &mut self,
+        p: Point2,
+        range: f64,
+        except: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.index.refresh(self.now, &self.arena);
         self.index
-            .nodes_within(&self.trajectories, self.now, p, range, except)
+            .nodes_within_into(&self.arena, self.now, p, range, except, out);
     }
 
     /// Number of nodes within `range` of `p` (excluding `except`)
@@ -82,9 +108,9 @@ impl World {
         except: NodeId,
         pred: impl FnMut(NodeId) -> bool,
     ) -> usize {
-        self.index.refresh(self.now, &self.trajectories);
+        self.index.refresh(self.now, &self.arena);
         self.index
-            .count_within(&self.trajectories, self.now, p, range, except, pred)
+            .count_within(&self.arena, self.now, p, range, except, pred)
     }
 
     /// The run's deterministic random number generator. All medium and

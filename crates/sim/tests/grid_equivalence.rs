@@ -3,7 +3,7 @@
 //! to the linear-scan reference — same node sets from raw queries, and
 //! bit-identical [`RunStats`] from full simulation runs.
 
-use glr_mobility::{MobilityModel, RandomWaypoint, Region};
+use glr_mobility::{DeploymentArena, MobilityModel, RandomWaypoint, Region};
 use glr_sim::{
     Ctx, IndexBackend, MessageInfo, NodeId, PacketKind, Protocol, RunStats, SimConfig, SimTime,
     Simulation, SpatialIndex, Workload,
@@ -85,7 +85,7 @@ proptest! {
         let region = Region::new(w, h);
         let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let trajs = model.deployment(region, n, 300.0, &mut rng);
+        let trajs = DeploymentArena::from_trajectories(&model.deployment(region, n, 300.0, &mut rng));
 
         let mut grid = SpatialIndex::new(IndexBackend::Grid, n, 20.0, range);
         let linear = SpatialIndex::new(IndexBackend::LinearScan, n, 20.0, range);
@@ -99,7 +99,7 @@ proptest! {
         for &t in &times {
             let now = SimTime::from_secs(t);
             for u in [0usize, n / 2, n - 1] {
-                let center = trajs[u].position_at(t);
+                let center = trajs.position_at(u, t);
                 let except = NodeId(u as u32);
                 let got = grid.nodes_within(&trajs, now, center, range, except);
                 let want = linear.nodes_within(&trajs, now, center, range, except);
@@ -123,14 +123,14 @@ proptest! {
         let region = Region::PAPER_STRIP;
         let model = RandomWaypoint::new(region, 0.0, 20.0, 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let trajs = model.deployment(region, n, 200.0, &mut rng);
+        let trajs = DeploymentArena::from_trajectories(&model.deployment(region, n, 200.0, &mut rng));
 
         let mut grid = SpatialIndex::new(IndexBackend::Grid, n, 20.0, range);
         let linear = SpatialIndex::new(IndexBackend::LinearScan, n, 20.0, range);
         grid.refresh(SimTime::ZERO, &trajs);
 
         let now = SimTime::from_secs(t);
-        let center = trajs[0].position_at(t);
+        let center = trajs.position_at(0, t);
         // An arbitrary stable predicate (even ids), standing in for "is
         // currently transmitting".
         let got = grid.count_within(&trajs, now, center, range, NodeId(0), |v| v.0 % 2 == 0);

@@ -116,3 +116,39 @@ fn media_actually_differ() {
     assert_ne!(ideal.data_tx, contention.data_tx);
     assert_ne!(shadowing.data_tx, contention.data_tx);
 }
+
+#[test]
+fn duty_cycled_drops_sleeping_receptions_and_never_beats_its_inner() {
+    for seed in [1u64, 17] {
+        let inner = run_under(MediumKind::Ideal, seed);
+        let duty = run_under(MediumKind::duty_cycled(MediumKind::Ideal, 0.3, 1.0), seed);
+        // Sleeping 70% of the time over an ideal radio must drop frames…
+        assert!(
+            duty.event_count(glr_sim::DUTY_SLEEP_DROP) > 0,
+            "seed {seed}: no sleep drops in a 90 s flood at 30% duty"
+        );
+        // …and can only lower delivery relative to the always-on inner.
+        assert!(
+            duty.delivery_ratio() <= inner.delivery_ratio(),
+            "seed {seed}: duty {} > inner {}",
+            duty.delivery_ratio(),
+            inner.delivery_ratio()
+        );
+        // The wrapper adds no losses of the inner media's kinds.
+        assert_eq!(duty.collisions, 0, "seed {seed}");
+        assert_eq!(duty.out_of_range, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn duty_cycled_is_deterministic_and_full_duty_is_transparent() {
+    let a = run_under(MediumKind::duty_cycled(MediumKind::Contention, 0.5, 2.0), 7);
+    let b = run_under(MediumKind::duty_cycled(MediumKind::Contention, 0.5, 2.0), 7);
+    assert_eq!(a, b, "same seed, same medium must be bit-identical");
+    // on_fraction == 1.0 never sleeps: statistics match the bare inner
+    // medium exactly.
+    let always_on = run_under(MediumKind::duty_cycled(MediumKind::Contention, 1.0, 2.0), 7);
+    let bare = run_under(MediumKind::Contention, 7);
+    assert_eq!(always_on, bare);
+    assert_eq!(always_on.event_count(glr_sim::DUTY_SLEEP_DROP), 0);
+}

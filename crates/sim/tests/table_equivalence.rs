@@ -111,7 +111,7 @@ fn medium_for(choice: u8) -> MediumKind {
 fn run<P: Protocol>(
     cfg: &SimConfig,
     wl: &Workload,
-    medium: MediumKind,
+    medium: &MediumKind,
     tables: TableBackend,
     factory: impl FnMut(NodeId, &SimConfig) -> P,
 ) -> RunStats {
@@ -146,8 +146,8 @@ proptest! {
                 .with_duration(60.0)
                 .with_neighbor_index(index);
             let wl = Workload::paper_style(cfg.n_nodes, msgs, 1000);
-            let shared = run(&cfg, &wl, medium, TableBackend::Shared, |_, _| Flood);
-            let reference = run(&cfg, &wl, medium, TableBackend::CloneMerge, |_, _| Flood);
+            let shared = run(&cfg, &wl, &medium, TableBackend::Shared, |_, _| Flood);
+            let reference = run(&cfg, &wl, &medium, TableBackend::CloneMerge, |_, _| Flood);
             prop_assert_eq!(
                 shared, reference,
                 "seed={} range={} msgs={} medium={} index={:?}", seed, range, msgs, medium, index
@@ -171,8 +171,8 @@ proptest! {
             .with_nodes(30)
             .with_duration(60.0);
         let wl = Workload::paper_style(cfg.n_nodes, msgs, 1000);
-        let shared = run(&cfg, &wl, medium, TableBackend::Shared, |_, _| ViewGreedy);
-        let reference = run(&cfg, &wl, medium, TableBackend::CloneMerge, |_, _| ViewGreedy);
+        let shared = run(&cfg, &wl, &medium, TableBackend::Shared, |_, _| ViewGreedy);
+        let reference = run(&cfg, &wl, &medium, TableBackend::CloneMerge, |_, _| ViewGreedy);
         prop_assert_eq!(
             shared, reference,
             "seed={} range={} msgs={} medium={}", seed, range, msgs, medium
@@ -193,14 +193,14 @@ fn long_runs_with_churn_stay_bit_identical() {
         let shared = run(
             &cfg,
             &wl,
-            MediumKind::Contention,
+            &MediumKind::Contention,
             TableBackend::Shared,
             |_, _| ViewGreedy,
         );
         let reference = run(
             &cfg,
             &wl,
-            MediumKind::Contention,
+            &MediumKind::Contention,
             TableBackend::CloneMerge,
             |_, _| ViewGreedy,
         );

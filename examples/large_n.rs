@@ -4,16 +4,18 @@
 //! hot path hardest (every contact triggers summary exchange).
 //!
 //! ```sh
-//! cargo run --release --example large_n                # 10000 nodes, 5 s
-//! cargo run --release --example large_n -- 10000 2     # nodes, duration
+//! cargo run --release --example large_n                 # 10000 nodes, 5 s
+//! cargo run --release --example large_n -- 10000 2      # nodes, duration
+//! cargo run --release --example large_n -- 100000 1 4   # + parallel engine, 4 workers
 //! ```
 //!
-//! Used as the CI smoke for 10k-node scale: it exercises the interned
-//! beacon snapshots and incremental two-hop merges end to end and prints
-//! one row per medium.
+//! Used as the CI smoke for 10k/100k-node scale: it exercises the
+//! arena-backed deployment, the interned beacon snapshots and the
+//! incremental two-hop merges end to end — and, with a worker count,
+//! `EngineKind::Parallel` — and prints one row per medium.
 
 use glr::epidemic::Epidemic;
-use glr::sim::Scenario;
+use glr::sim::{EngineKind, Scenario};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,13 +27,22 @@ fn main() {
         .next()
         .map(|a| a.parse().expect("duration must be a number"))
         .unwrap_or(5.0);
+    let workers: usize = args
+        .next()
+        .map(|a| a.parse().expect("worker count must be an integer"))
+        .unwrap_or(0);
+    let engine = match workers {
+        0 | 1 => EngineKind::Serial,
+        k => EngineKind::Parallel(k),
+    };
 
-    println!("large-n tier: {n} nodes, {duration} s, epidemic routing");
+    println!("large-n tier: {n} nodes, {duration} s, epidemic routing, {engine} engine");
     println!(
         "  {:<28} | {:>9} | {:>9} | {:>10} | {:>10} | {:>8}",
         "scenario", "created", "delivered", "control tx", "data tx", "wall (s)"
     );
-    for scenario in Scenario::large_n_tier(n, duration, 1) {
+    for mut scenario in Scenario::large_n_tier(n, duration, 1) {
+        scenario.config.engine = engine;
         let started = std::time::Instant::now();
         let stats = scenario.run(Epidemic::new);
         let wall = started.elapsed().as_secs_f64();
