@@ -61,8 +61,30 @@ fn bench_engine_dense10k(c: &mut Criterion) {
 
 /// 100k nodes at the paper's density for one simulated second — the
 /// scale the ROADMAP's open item named. One full beacon round from every
-/// node plus epidemic-style empty traffic.
+/// node plus epidemic-style empty traffic. Also prints the per-node
+/// protocol-state footprint (neighbour tables after the run) against
+/// the PR-4 layout baseline, for the committed artefact's
+/// `neighbor_footprint_bytes` rows.
 fn bench_engine_100k(c: &mut Criterion) {
+    {
+        let cfg = config(100_000, 0.5, 1.0, EngineKind::Serial);
+        let n = cfg.n_nodes;
+        let wl = Workload::paper_style(n, 100, 1000);
+        Simulation::new(cfg, wl, |_, _| Idle).run_inspect(|sim| {
+            let fp = sim.neighbor_footprint();
+            let baseline = sim.neighbor_footprint_baseline();
+            println!(
+                "neighbor_footprint/{n}: tables {} B + snapshots {} B = {} B \
+                 ({} B/node; PR-4 layout equivalent {} B = {} B/node)",
+                fp.table_bytes,
+                fp.snapshot_bytes,
+                fp.total_bytes(),
+                fp.bytes_per_node(),
+                baseline,
+                baseline / n,
+            );
+        });
+    }
     let mut g = c.benchmark_group("engine_100k_1s");
     for (name, engine) in [
         ("serial", EngineKind::Serial),
@@ -72,6 +94,30 @@ fn bench_engine_100k(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = config(100_000, 0.5, 1.0, engine);
                 let wl = Workload::paper_style(cfg.n_nodes, 100, 1000);
+                Simulation::new(black_box(cfg), wl, |_, _| Idle).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Forced pool dispatch at CI-smoke scale: a dense 2k-node beacon storm
+/// with `parallel_grain` 1, so *every* reception fans out through the
+/// persistent worker pool. On multi-core hosts this shows the fan-out
+/// win; on the 1-core container it bounds the dispatch overhead the
+/// pool must keep negligible (the regression this row exists to catch —
+/// the per-event `thread::scope` spawn it replaced made this workload
+/// slower than serial).
+fn bench_pool_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_pool_fanout");
+    for (name, engine) in [
+        ("serial", EngineKind::Serial),
+        ("parallel4", EngineKind::Parallel(4)),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 2_000), |b| {
+            b.iter(|| {
+                let cfg = config(2_000, 0.25, 1.0, engine).with_parallel_grain(1);
+                let wl = Workload::paper_style(cfg.n_nodes, 20, 1000);
                 Simulation::new(black_box(cfg), wl, |_, _| Idle).run()
             })
         });
@@ -114,6 +160,7 @@ criterion_group!(
     engine,
     bench_engine_dense10k,
     bench_engine_100k,
+    bench_pool_fanout,
     bench_deployment_footprint
 );
 criterion_main!(engine);

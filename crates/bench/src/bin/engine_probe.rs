@@ -1,0 +1,104 @@
+//! Best-of-N wall-clock probe for the engine scaling workloads — the
+//! tool behind the cross-tree comparisons in `BENCH_sim.json`'s
+//! `_note_engine` (criterion rows are single iterations on a shared
+//! core and read high; this takes the minimum of N runs of exactly the
+//! bench workloads, and is copied into the previous PR's tree to
+//! measure both in one sitting).
+//!
+//! ```sh
+//! cargo run --release -p glr-bench --bin engine_probe        # N = 3
+//! cargo run --release -p glr-bench --bin engine_probe -- 5   # N = 5
+//! ```
+
+use glr_mobility::Region;
+use glr_sim::{Ctx, EngineKind, MessageInfo, NodeId, Protocol, SimConfig, Simulation, Workload};
+use std::time::Instant;
+
+struct Idle;
+impl Protocol for Idle {
+    type Packet = ();
+    fn on_message_created(&mut self, _: &mut Ctx<'_, ()>, _: MessageInfo) {}
+    fn on_packet(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+}
+
+/// Mirrors `benches/engine.rs`: region scaled by `(n/50)^exponent`.
+fn config(n: usize, exponent: f64, duration: f64, engine: EngineKind) -> SimConfig {
+    let scale = (n as f64 / 50.0).powf(exponent);
+    SimConfig::paper(100.0, 42)
+        .with_nodes(n)
+        .with_region(Region::new(1500.0 * scale, 300.0 * scale))
+        .with_duration(duration)
+        .with_engine(engine)
+}
+
+fn best_of(n: usize, mut run: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut check = 0;
+    for _ in 0..n {
+        let t = Instant::now();
+        check = run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, check)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("repeat count"))
+        .unwrap_or(3);
+    println!("engine probe, best of {n} (workloads of benches/engine.rs):");
+    let cases: [(&str, usize, f64, f64, usize, EngineKind); 6] = [
+        (
+            "dense10k_2s/serial",
+            10_000,
+            0.25,
+            2.0,
+            50,
+            EngineKind::Serial,
+        ),
+        (
+            "dense10k_2s/parallel4",
+            10_000,
+            0.25,
+            2.0,
+            50,
+            EngineKind::Parallel(4),
+        ),
+        ("100k_1s/serial", 100_000, 0.5, 1.0, 100, EngineKind::Serial),
+        (
+            "100k_1s/parallel4",
+            100_000,
+            0.5,
+            1.0,
+            100,
+            EngineKind::Parallel(4),
+        ),
+        (
+            "pool2k_grain1_1s/serial",
+            2_000,
+            0.25,
+            1.0,
+            20,
+            EngineKind::Serial,
+        ),
+        (
+            "pool2k_grain1_1s/parallel4",
+            2_000,
+            0.25,
+            1.0,
+            20,
+            EngineKind::Parallel(4),
+        ),
+    ];
+    for (name, nodes, exp, dur, msgs, engine) in cases {
+        let (secs, check) = best_of(n, || {
+            let cfg = config(nodes, exp, dur, engine)
+                .with_parallel_grain(if name.contains("grain1") { 1 } else { 512 });
+            let wl = Workload::paper_style(cfg.n_nodes, msgs, 1000);
+            let stats = Simulation::new(cfg, wl, |_, _| Idle).run();
+            stats.control_tx
+        });
+        println!("  {name:<26} {:>9.1} ms  (control_tx {check})", secs * 1e3);
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::neighbors::TableBackend;
+use crate::pool::ThreadBudget;
 use crate::space::IndexBackend;
 use glr_mobility::Region;
 
@@ -9,10 +10,12 @@ use glr_mobility::Region;
 /// Mirrors the backend-pair pattern of [`IndexBackend`] and
 /// [`TableBackend`]: [`EngineKind::Serial`] is the reference
 /// implementation, [`EngineKind::Parallel`] fans the read-only part of
-/// wide same-tick work (a beacon's per-receiver reception) across
-/// `std::thread::scope` workers and commits effects in the exact
-/// sequential order — producing **bit-identical** [`crate::RunStats`]
-/// for any thread count (asserted by `tests/engine_equivalence.rs`).
+/// wide same-tick work (a beacon's per-receiver reception) across a
+/// persistent [`crate::WorkerPool`] — parked workers, spawned lazily on
+/// the first wide event, sized by the run's [`ThreadBudget`] — and
+/// commits effects in the exact sequential order, producing
+/// **bit-identical** [`crate::RunStats`] for any thread count (asserted
+/// by `tests/engine_equivalence.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// One thread processes every event in order. The reference.
@@ -130,6 +133,14 @@ pub struct SimConfig {
     /// performance knob (and the lever equivalence tests use to force
     /// the parallel path at small scale).
     pub parallel_grain: usize,
+    /// Thread budget the engine's worker pool draws from. The default
+    /// ([`ThreadBudget::unlimited`]) grants [`EngineKind::Parallel`]
+    /// exactly the threads it asks for; a run spawned inside a
+    /// [`crate::Sweep`] shares one ledger with the sweep's outer
+    /// workers, so outer × inner parallelism never oversubscribes the
+    /// budget. Purely a scheduling knob: results are bit-identical for
+    /// any budget.
+    pub thread_budget: ThreadBudget,
     /// RNG seed; runs with equal configuration and seed are identical.
     pub seed: u64,
 }
@@ -158,6 +169,7 @@ impl SimConfig {
             neighbor_tables: TableBackend::Shared,
             engine: EngineKind::Serial,
             parallel_grain: 512,
+            thread_budget: ThreadBudget::unlimited(),
             seed,
         }
     }
@@ -231,6 +243,15 @@ impl SimConfig {
     /// independent of it.
     pub fn with_parallel_grain(mut self, grain: usize) -> Self {
         self.parallel_grain = grain;
+        self
+    }
+
+    /// Returns the config drawing its engine threads from `budget` — a
+    /// cloneable ledger shared with everything else holding the same
+    /// budget (typically a [`crate::Sweep`]'s outer workers). Purely a
+    /// scheduling knob; results are bit-identical for any budget.
+    pub fn with_thread_budget(mut self, budget: ThreadBudget) -> Self {
+        self.thread_budget = budget;
         self
     }
 

@@ -25,6 +25,7 @@
 //! | module | responsibility |
 //! |---|---|
 //! | [`mod@sim`] | event sequencing: drains same-tick batches, advances the clock, dispatches ([`EngineKind::Serial`] reference / [`EngineKind::Parallel`] deterministic fan-out) |
+//! | [`mod@pool`] | the parallel runtime: persistent [`WorkerPool`] (parked workers, lazy spawn, scoped dispatch) and the [`ThreadBudget`] ledger shared across engine, [`Sweep`] and [`MultiRun`] |
 //! | [`mod@medium`] | radio/PHY behind the pluggable [`Medium`] trait: [`ContentionMedium`] (default), [`IdealMedium`], [`ShadowingMedium`], [`DutyCycledMedium`] |
 //! | [`mod@neighbors`] | IMEP beacon sensing: `Arc`-interned beacon snapshots and incrementally merged 1-/2-hop tables with TTL expiry ([`TableBackend::Shared`]), plus the clone-and-merge reference ([`TableBackend::CloneMerge`]) |
 //! | [`mod@space`] | proximity queries: grid-indexed ([`SpatialIndex`]) with an exact linear-scan reference backend |
@@ -61,15 +62,43 @@
 //!   [`Ctx::neighbors`]/[`Ctx::local_view`]) vs
 //!   [`TableBackend::CloneMerge`] (`tests/table_equivalence.rs`);
 //! * the engine loop — [`EngineKind::Parallel`] (same-tick batch drain,
-//!   read-only per-receiver reception compute fanned across
-//!   `std::thread::scope` workers, in-order commit) vs
+//!   read-only per-receiver reception compute fanned across a
+//!   persistent [`WorkerPool`], in-order commit) vs
 //!   [`EngineKind::Serial`] (`tests/engine_equivalence.rs`); select via
 //!   [`SimConfig::with_engine`].
 //!
+//! # The parallel runtime: one pool, one budget
+//!
+//! All thread-level parallelism runs on [`mod@pool`]:
+//!
+//! * Each parallel run owns a [`WorkerPool`] — workers spawn lazily on
+//!   the first wide event, park between events, and are joined when the
+//!   run ends. Replacing the per-event `std::thread::scope` spawn with
+//!   parked workers is what makes the fan-out pay off (spawn/join per
+//!   wide beacon used to eat the entire parallel gain).
+//! * [`Sweep`] (and [`MultiRun`], a one-cell sweep) drains its
+//!   `(cell, run)` work queue through a pool of its own.
+//! * Both layers draw their threads from a **shared [`ThreadBudget`]**:
+//!   `Sweep::with_budget(b)` sizes the outer workers and
+//!   [`SimConfig::with_thread_budget`] hands the same ledger to each
+//!   run's engine, so a budget of 8 yields e.g. 4 sweep workers × 2
+//!   engine threads — or 1 × 8 for a single 100k-node run — and never
+//!   32 oversubscribed threads. An exhausted ledger degrades cleanly:
+//!   a grant of zero extra threads is the serial path.
+//!
+//! The scheduling never affects results: pools distribute *which thread
+//! computes*, and every order-sensitive effect stays on the in-order
+//! commit paths, so [`RunStats`] are bit-identical for any engine,
+//! thread count and budget.
+//!
 //! Single-run memory is flat: the whole deployment's trajectories are
 //! interned into one contiguous [`glr_mobility::DeploymentArena`]
-//! keyframe buffer (spans + per-node segment hints) instead of one heap
-//! `Vec` per node, and all position sampling reads it.
+//! keyframe buffer (offsets + per-node segment hints) instead of one
+//! heap `Vec` per node, and all position sampling reads it. Per-node
+//! protocol state is compact: thin `Arc`-only beacon snapshots, a
+//! single-probe peer map with 32-byte entries, and the cold view caches
+//! split out of the hot per-node tables ([`TableFootprint`] reports the
+//! bytes; the `neighbor_footprint` bench row tracks them at 100k).
 //!
 //! [`Scenario::large_n_tier`] builds a ready-made 10k-node preset —
 //! paper density via [`SimConfig::paper_scaled`], one cell per built-in
@@ -137,6 +166,7 @@ mod ids;
 mod json;
 pub mod medium;
 pub mod neighbors;
+pub mod pool;
 pub mod queue;
 pub mod report;
 mod runner;
@@ -157,7 +187,9 @@ pub use medium::{
 };
 pub use neighbors::{
     BeaconSnapshot, NeighborEntry, NeighborTables, NeighborsIter, NeighborsView, TableBackend,
+    TableFootprint,
 };
+pub use pool::{BudgetLease, ThreadBudget, WorkerPool};
 pub use queue::TimedQueue;
 pub use report::{CellReport, ReportSet, RunMetrics};
 pub use runner::MultiRun;

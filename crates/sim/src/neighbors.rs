@@ -43,6 +43,7 @@
 //!    snapshot per sender loses nothing a fresh query could see.
 
 use crate::ids::NodeId;
+use crate::pool::{Task, WorkerPool};
 use crate::time::SimTime;
 use glr_geometry::Point2;
 use std::collections::HashMap;
@@ -200,22 +201,26 @@ impl<'a> IntoIterator for &'a NeighborsView {
 
 /// One beacon's payload: the sender's fresh 1-hop table, materialised
 /// once per beacon event and shared (`Arc`) by every receiver.
+///
+/// Deliberately thin — two words, a fat `Arc` pointer. Every receiver
+/// of a beacon stores a copy inside its [`NodeTable`]'s peer map, so
+/// each byte here is a byte per `(node, peer)` pair at 100k nodes; the
+/// freshest-entry timestamp the old layout cached inline is recomputed
+/// during the (amortised) sweeps that need it instead.
 #[derive(Debug, Clone)]
 pub struct BeaconSnapshot {
     entries: Arc<[NeighborEntry]>,
-    /// Freshest `heard_at` in `entries`, in seconds
-    /// (`f64::NEG_INFINITY` when empty). Once this falls behind the TTL
-    /// horizon the whole snapshot is expired and can be dropped.
-    max_heard: f64,
 }
 
 impl BeaconSnapshot {
     fn new(entries: Arc<[NeighborEntry]>) -> Self {
-        let max_heard = entries
-            .iter()
-            .map(|e| e.heard_at.as_secs())
-            .fold(f64::NEG_INFINITY, f64::max);
-        BeaconSnapshot { entries, max_heard }
+        BeaconSnapshot { entries }
+    }
+
+    /// Whether every entry is older than `horizon` (vacuously true when
+    /// empty) — i.e. no fresh query can see anything in this snapshot.
+    fn expired(&self, horizon: f64) -> bool {
+        self.entries.iter().all(|e| e.heard_at.as_secs() < horizon)
     }
 
     /// Builds a snapshot from explicit entries (tests and benches; the
@@ -329,9 +334,11 @@ impl NeighborTables {
     }
 
     /// [`NeighborTables::record_beacon`] for a whole receiver set at
-    /// once, with the per-receiver merges fanned across `workers`
-    /// scoped threads in fixed chunks — the compute phase of the
-    /// engine's deterministic parallel reception.
+    /// once, with the per-receiver merges fanned across the worker
+    /// [`pool`](WorkerPool) in fixed chunks — the compute phase of the
+    /// engine's deterministic parallel reception. A `pool` of `None`
+    /// (or of one thread) runs the ascending sequential loop — the
+    /// serial reference path.
     ///
     /// `receivers` must be strictly ascending (the order
     /// [`crate::World::nodes_within`] returns). `was_fresh` is cleared
@@ -352,7 +359,7 @@ impl NeighborTables {
         sender: NeighborEntry,
         snapshot: &BeaconSnapshot,
         now: SimTime,
-        workers: usize,
+        pool: Option<&WorkerPool>,
         was_fresh: &mut Vec<bool>,
     ) {
         debug_assert!(
@@ -360,40 +367,44 @@ impl NeighborTables {
             "receivers must be strictly ascending"
         );
         was_fresh.clear();
+        let workers = pool.map_or(1, WorkerPool::threads);
         if workers <= 1 || receivers.len() < 2 {
             for &v in receivers {
                 was_fresh.push(self.record_beacon(v, sender, snapshot, now));
             }
             return;
         }
+        let pool = pool.expect("workers > 1 implies a pool");
         was_fresh.resize(receivers.len(), false);
         let chunk = receivers.len().div_ceil(workers);
         match &mut self.backend {
             Backend::Shared(t) => {
                 let horizon = now.as_secs() - t.ttl;
                 let mut tables = disjoint_muts(&mut t.nodes, receivers);
-                std::thread::scope(|scope| {
-                    for (tc, fc) in tables.chunks_mut(chunk).zip(was_fresh.chunks_mut(chunk)) {
-                        scope.spawn(move || {
+                let tasks: Vec<Task<'_>> = tables
+                    .chunks_mut(chunk)
+                    .zip(was_fresh.chunks_mut(chunk))
+                    .map(|(tc, fc)| {
+                        Box::new(move || {
                             for (table, fresh) in tc.iter_mut().zip(fc.iter_mut()) {
                                 *fresh = table.record_beacon(sender, snapshot, horizon);
                             }
-                        });
-                    }
-                });
+                        }) as Task<'_>
+                    })
+                    .collect();
+                pool.run(tasks);
             }
             Backend::CloneMerge(t) => {
                 let horizon = t.horizon(now);
                 let snapshot = snapshot.entries();
                 let mut ones = disjoint_muts(&mut t.one_hop, receivers);
                 let mut twos = disjoint_muts(&mut t.two_hop, receivers);
-                std::thread::scope(|scope| {
-                    for ((oc, tc), (rc, fc)) in ones
-                        .chunks_mut(chunk)
-                        .zip(twos.chunks_mut(chunk))
-                        .zip(receivers.chunks(chunk).zip(was_fresh.chunks_mut(chunk)))
-                    {
-                        scope.spawn(move || {
+                let tasks: Vec<Task<'_>> = ones
+                    .chunks_mut(chunk)
+                    .zip(twos.chunks_mut(chunk))
+                    .zip(receivers.chunks(chunk).zip(was_fresh.chunks_mut(chunk)))
+                    .map(|((oc, tc), (rc, fc))| {
+                        Box::new(move || {
                             for (((one, two), &receiver), fresh) in
                                 oc.iter_mut().zip(tc.iter_mut()).zip(rc).zip(fc.iter_mut())
                             {
@@ -401,10 +412,36 @@ impl NeighborTables {
                                     one, two, receiver, sender, snapshot, horizon,
                                 );
                             }
-                        });
-                    }
-                });
+                        }) as Task<'_>
+                    })
+                    .collect();
+                pool.run(tasks);
             }
+        }
+    }
+
+    /// Heap footprint of the tables — the per-node protocol-state
+    /// telemetry the 100k-node memory work reports (hash-map sizes are
+    /// bucket-count estimates; everything else is exact capacity
+    /// arithmetic).
+    pub fn footprint(&self) -> TableFootprint {
+        match &self.backend {
+            Backend::Shared(t) => t.footprint(),
+            Backend::CloneMerge(t) => t.footprint(),
+        }
+    }
+
+    /// What the same live content would occupy under the PR-4 layout
+    /// (fat snapshot handles, inline view caches, wide sweep counters)
+    /// — the baseline the footprint telemetry reports its savings
+    /// against, in the mould of
+    /// [`glr_mobility::DeploymentArena::vec_equivalent_bytes`]. For the
+    /// [`TableBackend::CloneMerge`] reference backend (whose layout is
+    /// unchanged) this equals [`NeighborTables::footprint`]'s total.
+    pub fn baseline_footprint_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Shared(t) => t.baseline_equivalent_bytes(),
+            Backend::CloneMerge(t) => t.footprint().total_bytes(),
         }
     }
 
@@ -455,7 +492,15 @@ const SWEEP_SLACK: usize = 4;
 
 #[derive(Debug)]
 struct SharedTables {
+    /// Hot per-node state: everything a beacon reception touches. Kept
+    /// separate from the cold view caches (SoA split) so the dense
+    /// beacon storm walks a ~45 % smaller array and reception worker
+    /// chunks cover fewer cache lines.
     nodes: Vec<NodeTable>,
+    /// Cold per-node state: the `(time, generation)`-keyed snapshot and
+    /// view caches, touched only when a node sends a beacon or a
+    /// protocol asks for its neighbourhood.
+    caches: Vec<NodeCache>,
     ttl: f64,
     /// Reusable freshest-wins merge buffer for [`SharedTables::fresh_view`].
     scratch: NodeMap<NeighborEntry>,
@@ -472,7 +517,10 @@ const NO_SLOT: u32 = u32::MAX;
 /// **one** hash lookup is what makes a beacon reception cheap — the
 /// previous two-map layout (`id → slot` plus `id → snapshot`) paid two
 /// hashed probes into two scattered tables per reception, and those
-/// cache misses dominated the dense-regime beacon storm.
+/// cache misses dominated the dense-regime beacon storm. The layout is
+/// deliberately compact (one `u32` + one thin [`BeaconSnapshot`]):
+/// peer-map entries are the dominant per-node memory term at 100k
+/// nodes, one entry per `(node, peer)` pair.
 #[derive(Debug)]
 struct PeerState {
     /// Current slot in `order`, or [`NO_SLOT`].
@@ -482,6 +530,7 @@ struct PeerState {
     snap: Option<BeaconSnapshot>,
 }
 
+/// Hot per-node table state — see [`SharedTables::nodes`].
 #[derive(Debug, Default)]
 struct NodeTable {
     /// 1-hop entries in *revival order* (the order the reference backend
@@ -496,11 +545,19 @@ struct NodeTable {
     /// in `order` but observably deleted.
     gc_horizon: f64,
     /// Mutations since the last physical sweep.
-    ops: usize,
-    /// Bumped on every mutation; keys the view caches.
-    gen: u64,
-    one_cache: Option<(SimTime, u64, BeaconSnapshot)>,
-    view_cache: Option<(SimTime, u64, NeighborsView)>,
+    ops: u32,
+    /// Bumped (wrapping) on every mutation; keys the view caches. A
+    /// false cache hit needs the same `(time, gen)` pair, i.e. 2^32
+    /// mutations of one node's table within a single timestamp — out of
+    /// reach for any run this simulator can represent.
+    gen: u32,
+}
+
+/// Cold per-node cache state — see [`SharedTables::caches`].
+#[derive(Debug, Default)]
+struct NodeCache {
+    one: Option<(SimTime, u32, BeaconSnapshot)>,
+    view: Option<(SimTime, u32, NeighborsView)>,
 }
 
 impl NodeTable {
@@ -516,7 +573,7 @@ impl NodeTable {
     /// zombies — entries the reference physically removed at the last
     /// beacon GC — re-append at the end like any new contact.
     fn upsert(&mut self, entry: NeighborEntry) {
-        self.gen += 1;
+        self.gen = self.gen.wrapping_add(1);
         self.ops += 1;
         let order = &mut self.order;
         let gc_horizon = self.gc_horizon;
@@ -575,7 +632,7 @@ impl NodeTable {
         // This is the reference backend's GC moment: from here on,
         // anything older than `horizon` is observably deleted.
         self.gc_horizon = self.gc_horizon.max(horizon);
-        self.gen += 1;
+        self.gen = self.gen.wrapping_add(1);
         self.ops += 1;
         self.maybe_sweep();
         was_fresh
@@ -583,9 +640,11 @@ impl NodeTable {
 
     /// Physically removes zombies, orphans and expired snapshots once
     /// enough mutations have amortised the cost. Unobservable: it drops
-    /// only entries no fresh query could return.
+    /// only entries no fresh query could return. (The expiry check
+    /// scans each snapshot's entries — the price of the thin snapshot
+    /// layout — but runs only here, under the same amortisation.)
     fn maybe_sweep(&mut self) {
-        if self.ops < MIN_SWEEP_OPS.max(self.order.len() * SWEEP_SLACK) {
+        if (self.ops as usize) < MIN_SWEEP_OPS.max(self.order.len() * SWEEP_SLACK) {
             return;
         }
         self.ops = 0;
@@ -609,7 +668,7 @@ impl NodeTable {
         }
         self.order.truncate(kept);
         self.peers.retain(|_, st| {
-            if st.snap.as_ref().is_some_and(|s| s.max_heard < horizon) {
+            if st.snap.as_ref().is_some_and(|s| s.expired(horizon)) {
                 st.snap = None;
             }
             st.slot != NO_SLOT || st.snap.is_some()
@@ -621,6 +680,7 @@ impl SharedTables {
     fn new(n_nodes: usize, ttl: f64) -> Self {
         SharedTables {
             nodes: (0..n_nodes).map(|_| NodeTable::new()).collect(),
+            caches: (0..n_nodes).map(|_| NodeCache::default()).collect(),
             ttl,
             scratch: NodeMap::default(),
             snap_scratch: Vec::new(),
@@ -630,12 +690,14 @@ impl SharedTables {
     fn snapshot(&mut self, u: NodeId, now: SimTime) -> BeaconSnapshot {
         let SharedTables {
             nodes,
+            caches,
             ttl,
             snap_scratch,
             ..
         } = self;
         let t = &mut nodes[u.index()];
-        if let Some((at, gen, snap)) = &t.one_cache {
+        let cache = &mut caches[u.index()];
+        if let Some((at, gen, snap)) = &cache.one {
             if *at == now && *gen == t.gen {
                 return snap.clone();
             }
@@ -649,13 +711,14 @@ impl SharedTables {
                 .copied(),
         );
         let snap = BeaconSnapshot::new(Arc::from(&snap_scratch[..]));
-        t.one_cache = Some((now, t.gen, snap.clone()));
+        cache.one = Some((now, t.gen, snap.clone()));
         snap
     }
 
     fn fresh_view(&mut self, u: NodeId, now: SimTime) -> NeighborsView {
         let t = &mut self.nodes[u.index()];
-        if let Some((at, gen, view)) = &t.view_cache {
+        let cache = &mut self.caches[u.index()];
+        if let Some((at, gen, view)) = &cache.view {
             if *at == now && *gen == t.gen {
                 return view.clone();
             }
@@ -679,9 +742,6 @@ impl SharedTables {
         }
         for st in t.peers.values() {
             let Some(snap) = &st.snap else { continue };
-            if snap.max_heard < horizon {
-                continue;
-            }
             for e in snap.entries.iter() {
                 merge(e);
             }
@@ -689,7 +749,7 @@ impl SharedTables {
         let mut out: Vec<NeighborEntry> = best.values().copied().collect();
         out.sort_by_key(|e| e.id);
         let view = NeighborsView::from(out);
-        t.view_cache = Some((now, t.gen, view.clone()));
+        cache.view = Some((now, t.gen, view.clone()));
         view
     }
 
@@ -708,6 +768,133 @@ impl SharedTables {
         let t = &mut self.nodes[receiver.index()];
         t.upsert(entry);
         t.maybe_sweep();
+    }
+
+    fn footprint(&self) -> TableFootprint {
+        let mut table_bytes = self.nodes.capacity() * std::mem::size_of::<NodeTable>()
+            + self.caches.capacity() * std::mem::size_of::<NodeCache>();
+        let mut snapshots: HashMap<*const NeighborEntry, usize> = HashMap::new();
+        let mut note = |entries: &Arc<[NeighborEntry]>| {
+            snapshots.insert(
+                entries.as_ptr(),
+                entries.len() * std::mem::size_of::<NeighborEntry>() + ARC_SLICE_HEADER,
+            );
+        };
+        for t in &self.nodes {
+            table_bytes += t.order.capacity() * std::mem::size_of::<NeighborEntry>()
+                + map_heap_bytes(
+                    t.peers.capacity(),
+                    std::mem::size_of::<(NodeId, PeerState)>(),
+                );
+            for st in t.peers.values() {
+                if let Some(snap) = &st.snap {
+                    note(&snap.entries);
+                }
+            }
+        }
+        for c in &self.caches {
+            if let Some((_, _, snap)) = &c.one {
+                note(&snap.entries);
+            }
+            if let Some((_, _, view)) = &c.view {
+                note(&view.entries);
+            }
+        }
+        TableFootprint {
+            nodes: self.nodes.len(),
+            table_bytes,
+            snapshot_bytes: snapshots.values().sum(),
+        }
+    }
+
+    /// What the same live content would occupy under the PR-4 layout —
+    /// fat 24-byte snapshot handles stored per `(node, peer)` pair,
+    /// view caches inline in the hot per-node struct, `usize`/`u64`
+    /// sweep counters. The baseline for the footprint telemetry, in the
+    /// mould of [`glr_mobility::DeploymentArena::vec_equivalent_bytes`].
+    fn baseline_equivalent_bytes(&self) -> usize {
+        // Sizes of the replaced layout, from its definitions:
+        // NodeTable {order Vec 24, peers HashMap 48, gc_horizon 8,
+        //   ops usize 8, gen u64 8,
+        //   one_cache Option<(SimTime, u64, BeaconSnapshot{Arc,f64})> 40,
+        //   view_cache Option<(SimTime, u64, NeighborsView)> 32} = 168;
+        // peer-map entry (NodeId, PeerState{slot u32, snap Option<{Arc
+        //   16, max_heard 8}>}) = 40.
+        const OLD_NODE_TABLE: usize = 168;
+        const OLD_PEER_ENTRY: usize = 40;
+        let mut bytes = self.nodes.capacity() * OLD_NODE_TABLE;
+        let mut snapshots: HashMap<*const NeighborEntry, usize> = HashMap::new();
+        let mut note = |entries: &Arc<[NeighborEntry]>| {
+            snapshots.insert(
+                entries.as_ptr(),
+                entries.len() * std::mem::size_of::<NeighborEntry>() + ARC_SLICE_HEADER,
+            );
+        };
+        for t in &self.nodes {
+            bytes += t.order.capacity() * std::mem::size_of::<NeighborEntry>()
+                + map_heap_bytes(t.peers.capacity(), OLD_PEER_ENTRY);
+            for st in t.peers.values() {
+                if let Some(snap) = &st.snap {
+                    note(&snap.entries);
+                }
+            }
+        }
+        // The old layout's inline one_cache/view_cache fields held the
+        // same interned allocations the split-out caches hold now —
+        // count them so both sides of the comparison cover identical
+        // content (the struct bytes are already in OLD_NODE_TABLE).
+        for c in &self.caches {
+            if let Some((_, _, snap)) = &c.one {
+                note(&snap.entries);
+            }
+            if let Some((_, _, view)) = &c.view {
+                note(&view.entries);
+            }
+        }
+        bytes + snapshots.values().sum::<usize>()
+    }
+}
+
+/// `ArcInner` bookkeeping preceding an `Arc<[T]>`'s payload (strong +
+/// weak counts).
+const ARC_SLICE_HEADER: usize = 2 * std::mem::size_of::<usize>();
+
+/// Estimated heap bytes of a `HashMap` with `capacity` usable slots and
+/// `entry` bytes per `(K, V)` pair: hashbrown allocates a power-of-two
+/// bucket array at 7/8 load factor plus one control byte per bucket.
+fn map_heap_bytes(capacity: usize, entry: usize) -> usize {
+    if capacity == 0 {
+        return 0;
+    }
+    let buckets = (capacity * 8).div_ceil(7).next_power_of_two().max(4);
+    buckets * (entry + 1) + 16
+}
+
+/// Heap-memory telemetry for [`NeighborTables`] — the per-node
+/// protocol-state counterpart of
+/// [`glr_mobility::DeploymentArena::heap_bytes`], reported by the
+/// `neighbor_footprint` bench rows at 100k nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct TableFootprint {
+    /// Number of per-node tables.
+    pub nodes: usize,
+    /// Bytes in per-node structures: the hot/cold arrays, 1-hop entry
+    /// buffers and peer maps (map sizes are bucket estimates).
+    pub table_bytes: usize,
+    /// Bytes in interned beacon-snapshot/view allocations, counted once
+    /// per unique `Arc` however many peers share it.
+    pub snapshot_bytes: usize,
+}
+
+impl TableFootprint {
+    /// Total heap bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.table_bytes + self.snapshot_bytes
+    }
+
+    /// Total heap bytes per node.
+    pub fn bytes_per_node(&self) -> usize {
+        self.total_bytes() / self.nodes.max(1)
     }
 }
 
@@ -828,6 +1015,21 @@ impl CloneTables {
     fn heard_frame(&mut self, receiver: NodeId, entry: NeighborEntry) {
         Self::upsert(&mut self.one_hop[receiver.index()], entry);
     }
+
+    fn footprint(&self) -> TableFootprint {
+        let vec_bytes = |tables: &Vec<Vec<NeighborEntry>>| {
+            tables.capacity() * std::mem::size_of::<Vec<NeighborEntry>>()
+                + tables
+                    .iter()
+                    .map(|t| t.capacity() * std::mem::size_of::<NeighborEntry>())
+                    .sum::<usize>()
+        };
+        TableFootprint {
+            nodes: self.one_hop.len(),
+            table_bytes: vec_bytes(&self.one_hop) + vec_bytes(&self.two_hop),
+            snapshot_bytes: 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -846,6 +1048,41 @@ mod tests {
 
     fn snap(entries: &[NeighborEntry]) -> BeaconSnapshot {
         BeaconSnapshot::from_entries(entries)
+    }
+
+    /// The 100k-node memory work pinned these layouts; growing them
+    /// again is a per-`(node, peer)`-pair regression at deployment
+    /// scale (the PR-4 sizes were 24/40/168-byte equivalents).
+    #[test]
+    fn per_node_state_stays_compact() {
+        assert_eq!(std::mem::size_of::<BeaconSnapshot>(), 16);
+        assert!(std::mem::size_of::<(NodeId, PeerState)>() <= 32);
+        assert!(std::mem::size_of::<NodeTable>() <= 88);
+        assert!(std::mem::size_of::<NodeCache>() <= 64);
+    }
+
+    #[test]
+    fn footprint_counts_shared_snapshots_once() {
+        let mut t = NeighborTables::new(4, 100.0, TableBackend::Shared);
+        let now = SimTime::from_secs(5.0);
+        t.record_beacon(NodeId(0), entry(2, 4.0), &snap(&[]), now);
+        let s = t.beacon_snapshot(NodeId(0), now);
+        // The same snapshot recorded at three receivers must be counted
+        // once, not three times.
+        let before = t.footprint().snapshot_bytes;
+        for v in [1u32, 2, 3] {
+            t.record_beacon(NodeId(v), entry(0, 5.0), &s, now);
+        }
+        let after = t.footprint().snapshot_bytes;
+        assert_eq!(before, after);
+        // And the compact layout must beat its PR-4 equivalent.
+        let fp = t.footprint();
+        assert!(
+            fp.total_bytes() < t.baseline_footprint_bytes(),
+            "current {} vs baseline {}",
+            fp.total_bytes(),
+            t.baseline_footprint_bytes()
+        );
     }
 
     #[test]

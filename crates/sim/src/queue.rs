@@ -7,9 +7,14 @@
 //! **4-ary min-heap** rather than `BinaryHeap<Reverse<…>>`: the flatter
 //! tree halves the sift depth, sifts touch adjacent slots (one cache
 //! line holds several children), and no `Reverse` wrapper or re-push is
-//! needed anywhere. [`TimedQueue::drain_due`] pops *every* item due at
-//! one timestamp in a single call — the batch pop the engine's
-//! same-tick delivery loop is built on.
+//! needed anywhere. The sift loops compare single packed `u128` keys,
+//! pick each level's minimum child by pairwise tournament (two
+//! independent first-round compares instead of a serial min scan — the
+//! fix for the small-heap regression where the dependent-compare chain,
+//! not cache misses, dominated) and index uncheckedly along the
+//! invariant-guarded sift path. [`TimedQueue::drain_due`] pops *every*
+//! item due at one timestamp in a single call — the batch pop the
+//! engine's same-tick delivery loop is built on.
 //!
 //! Every key is unique (the sequence number breaks all ties), so the pop
 //! order is the fully sorted order regardless of internal layout: two
@@ -46,14 +51,19 @@ struct Slot<T> {
 }
 
 impl<T> Slot<T> {
-    /// Comparison key: time bits then sequence number. `SimTime`
-    /// guarantees non-negative finite values, whose IEEE bit patterns
-    /// order identically to the values — so the sift loops compare plain
-    /// `u64` pairs instead of running float `partial_cmp` with its
-    /// NaN branch on every step.
+    /// Comparison key: time bits then sequence number, packed into one
+    /// `u128`. `SimTime` guarantees non-negative finite values, whose
+    /// IEEE bit patterns order identically to the values — so the sift
+    /// loops compare a single integer (which compiles to a branchless
+    /// two-word compare) instead of running float `partial_cmp` with
+    /// its NaN branch, or a lexicographic tuple compare with its
+    /// equality branch, on every step. The min-of-children scan in
+    /// [`TimedQueue::pop`] turns into conditional moves this way — the
+    /// fix for the small-heap regression where those data-dependent
+    /// branches (not cache misses) dominated.
     #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.at.key_bits(), self.seq)
+    fn key(&self) -> u128 {
+        (u128::from(self.at.key_bits()) << 64) | u128::from(self.seq)
     }
 }
 
@@ -122,25 +132,62 @@ impl<T: Copy> TimedQueue<T> {
         // children (no comparison against `last` on the way down), then
         // sift `last` back up from there. `last` came from the deepest
         // layer, so the up-pass almost always stops immediately —
-        // fewer comparisons than a guarded sink on every level.
+        // fewer comparisons than a guarded sink on every level. The
+        // min-of-children scan keeps the running minimum's key in a
+        // register (one load + one compare per child, no re-reads of
+        // the current minimum slot) and uses unchecked indexing: the
+        // data-dependent sift path made the bounds-check branches a
+        // measurable fraction of a pop on small, cache-resident heaps.
         let n = self.slots.len();
+        let slots = self.slots.as_mut_slice();
         let mut i = 0;
+        // Full levels (all ARITY children present): a pairwise
+        // tournament instead of a linear min scan — the two first-round
+        // compares are independent, which roughly halves the
+        // data-dependent latency chain the linear scan suffered.
+        // SAFETY (both loops): child indices are `< n` by the loop
+        // conditions; `i` starts at 0 on a non-empty slice and is then
+        // a previous in-range child.
         loop {
-            let first_child = i * ARITY + 1;
-            if first_child >= n {
+            let c = i * ARITY + 1;
+            if c + ARITY > n {
                 break;
             }
-            let mut min = first_child;
-            let last_child = (first_child + ARITY).min(n);
-            for c in first_child + 1..last_child {
-                if self.slots[c].key() < self.slots[min].key() {
-                    min = c;
-                }
+            unsafe {
+                let (k0, k1) = (
+                    slots.get_unchecked(c).key(),
+                    slots.get_unchecked(c + 1).key(),
+                );
+                let (k2, k3) = (
+                    slots.get_unchecked(c + 2).key(),
+                    slots.get_unchecked(c + 3).key(),
+                );
+                let (ka, ia) = if k1 < k0 { (k1, c + 1) } else { (k0, c) };
+                let (kb, ib) = if k3 < k2 { (k3, c + 3) } else { (k2, c + 2) };
+                let min = if kb < ka { ib } else { ia };
+                *slots.get_unchecked_mut(i) = *slots.get_unchecked(min);
+                i = min;
             }
-            self.slots[i] = self.slots[min];
-            i = min;
         }
-        self.slots[i] = last;
+        // At most one partial level remains.
+        let first_child = i * ARITY + 1;
+        if first_child < n {
+            let last_child = (first_child + ARITY).min(n);
+            unsafe {
+                let mut min = first_child;
+                let mut min_key = slots.get_unchecked(first_child).key();
+                for c in first_child + 1..last_child {
+                    let key = slots.get_unchecked(c).key();
+                    if key < min_key {
+                        min = c;
+                        min_key = key;
+                    }
+                }
+                *slots.get_unchecked_mut(i) = *slots.get_unchecked(min);
+                i = min;
+            }
+        }
+        slots[i] = last;
         self.sift_up(i);
         Some((top.at, top.item))
     }
@@ -161,17 +208,23 @@ impl<T: Copy> TimedQueue<T> {
     /// Moves the element at `i` toward the root until its parent is
     /// smaller, shifting displaced parents down through a hole.
     fn sift_up(&mut self, mut i: usize) {
-        let slot = self.slots[i];
-        while i > 0 {
-            let parent = (i - 1) / ARITY;
-            if slot.key() < self.slots[parent].key() {
-                self.slots[i] = self.slots[parent];
-                i = parent;
-            } else {
-                break;
+        let slots = self.slots.as_mut_slice();
+        // SAFETY: `i` starts in range (callers pass an index < len) and
+        // only ever decreases (`parent < i`).
+        unsafe {
+            let slot = *slots.get_unchecked(i);
+            let key = slot.key();
+            while i > 0 {
+                let parent = (i - 1) / ARITY;
+                if key < slots.get_unchecked(parent).key() {
+                    *slots.get_unchecked_mut(i) = *slots.get_unchecked(parent);
+                    i = parent;
+                } else {
+                    break;
+                }
             }
+            *slots.get_unchecked_mut(i) = slot;
         }
-        self.slots[i] = slot;
     }
 }
 

@@ -63,8 +63,13 @@ impl MultiRun {
         run_fn: impl Fn(SimConfig) -> RunStats + Send + Sync,
     ) -> Self {
         assert!(runs > 0, "need at least one run");
+        // The outer run fan-out draws from the same thread budget the
+        // per-run engines use (the configs handed to `run_fn` carry the
+        // same ledger), so `threads` is a cap within the budget, not an
+        // addition to it.
         let results = Sweep::new(runs)
             .with_threads(threads)
+            .with_budget(config.thread_budget.clone())
             .execute(&[()], |(), i| {
                 run_fn(config.clone().with_seed(config.seed + i as u64))
             });

@@ -23,22 +23,25 @@
 //! the medium, the neighbour tables, the workload, or a protocol hook.
 //! Under [`crate::EngineKind::Parallel`] a wide beacon's per-receiver
 //! reception merges — disjoint, randomness-free, statistics-free — are
-//! fanned across `std::thread::scope` workers in fixed chunks, and
-//! everything order-sensitive (protocol hooks, stats, scheduling)
-//! commits in the exact sequential order afterwards; the serial engine
-//! remains the reference and both are bit-identical for any thread
-//! count (`tests/engine_equivalence.rs`). Protocols implement
-//! [`Protocol`] and interact with the world through [`Ctx`]. All
-//! randomness flows from the seed in [`crate::SimConfig`], so a run is
-//! a pure function of `(config, workload, protocol, seed)` — under
-//! either spatial-index backend, either engine, and any conforming
-//! medium.
+//! fanned in fixed chunks across a persistent [`WorkerPool`] (parked
+//! workers spawned lazily on the first wide event and reused for the
+//! whole run, sized by the [`crate::ThreadBudget`] in the
+//! configuration), and everything order-sensitive (protocol hooks,
+//! stats, scheduling) commits in the exact sequential order afterwards;
+//! the serial engine remains the reference and both are bit-identical
+//! for any thread count and budget (`tests/engine_equivalence.rs`).
+//! Protocols implement [`Protocol`] and interact with the world through
+//! [`Ctx`]. All randomness flows from the seed in [`crate::SimConfig`],
+//! so a run is a pure function of `(config, workload, protocol, seed)`
+//! — under either spatial-index backend, either engine, and any
+//! conforming medium.
 
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, MessageInfo, NodeId};
 use crate::medium::{ContentionMedium, Frame, Medium, PacketKind, QueueFull, TxResolution};
-use crate::neighbors::{NeighborEntry, NeighborTables, NeighborsView};
+use crate::neighbors::{NeighborEntry, NeighborTables, NeighborsView, TableFootprint};
+use crate::pool::WorkerPool;
 use crate::stats::RunStats;
 use crate::time::SimTime;
 use crate::workload::Workload;
@@ -97,6 +100,11 @@ struct Core<Pk> {
     events: EventQueue,
     medium: Box<dyn Medium<Pk>>,
     tables: NeighborTables,
+    /// Persistent fan-out pool for [`crate::EngineKind::Parallel`]:
+    /// sized by the configuration's engine × thread budget, spawned
+    /// lazily on the first wide event, parked between events, joined on
+    /// drop. Serial engines get an inert single-thread pool.
+    pool: WorkerPool,
 }
 
 // ---------------------------------------------------------------------------
@@ -351,11 +359,16 @@ impl<P: Protocol> Simulation<P> {
             .map(|i| workload.message_id(i))
             .collect();
         let tables = NeighborTables::new(n, config.neighbor_ttl, config.neighbor_tables);
+        // The pool asks the run's budget for the engine's threads; a
+        // serial engine (or an exhausted budget) yields a one-thread
+        // pool that never spawns anything.
+        let pool = WorkerPool::from_budget(&config.thread_budget, config.engine.threads());
         let core = Core {
             world: World::new(config, trajectories, rng),
             events: EventQueue::new(),
             medium,
             tables,
+            pool,
         };
         Simulation {
             core,
@@ -384,7 +397,17 @@ impl<P: Protocol> Simulation<P> {
     }
 
     /// Runs the simulation to completion and returns the statistics.
-    pub fn run(mut self) -> RunStats {
+    pub fn run(self) -> RunStats {
+        self.run_inspect(|_| {})
+    }
+
+    /// Like [`Simulation::run`], additionally handing the finished
+    /// simulation to `inspect` before it is torn down — the hook for
+    /// end-of-run telemetry that is not part of [`RunStats`] (and must
+    /// not be, since `RunStats` equality underpins the engine/backend
+    /// equivalence guarantees), such as
+    /// [`Simulation::neighbor_footprint`].
+    pub fn run_inspect(mut self, inspect: impl FnOnce(&Self)) -> RunStats {
         let duration = self.core.world.config.sim_duration;
         let n = self.core.world.config.n_nodes;
 
@@ -453,7 +476,21 @@ impl<P: Protocol> Simulation<P> {
             }
         }
         self.batch = batch;
+        inspect(&self);
         self.core.world.stats
+    }
+
+    /// Heap-memory telemetry of the neighbour tables (per-node protocol
+    /// state) — read it at end of run via [`Simulation::run_inspect`].
+    pub fn neighbor_footprint(&self) -> TableFootprint {
+        self.core.tables.footprint()
+    }
+
+    /// What the neighbour tables' live content would occupy under the
+    /// PR-4 memory layout — the baseline for
+    /// [`Simulation::neighbor_footprint`].
+    pub fn neighbor_footprint_baseline(&self) -> usize {
+        self.core.tables.baseline_footprint_bytes()
     }
 
     fn handle_beacon(&mut self, u: NodeId) {
@@ -477,22 +514,24 @@ impl<P: Protocol> Simulation<P> {
         // Deterministic (possibly parallel) reception. Compute phase:
         // the per-receiver snapshot merges commute (each touches only
         // its receiver's table, draws no randomness, counts no
-        // statistics), so fanning them across scoped workers in fixed
-        // chunks — engaged only for receiver sets wide enough to repay
-        // thread dispatch — is observably identical to the single-worker
-        // ascending loop. Commit phase: everything order-sensitive —
-        // new-contact protocol hooks, with their sends, timers and RNG
-        // draws — replays in exact sequential order.
-        let threads = self.core.world.config.engine.threads();
-        let workers = if threads > 1 && receivers.len() >= self.core.world.config.parallel_grain {
-            threads
-        } else {
-            1
-        };
+        // statistics), so fanning them across the run's persistent
+        // worker pool in fixed chunks — engaged only for receiver sets
+        // wide enough to repay dispatch — is observably identical to
+        // the single-worker ascending loop. Commit phase: everything
+        // order-sensitive — new-contact protocol hooks, with their
+        // sends, timers and RNG draws — replays in exact sequential
+        // order.
+        let pool = self.core.pool.clone();
+        let wide = pool.threads() > 1 && receivers.len() >= self.core.world.config.parallel_grain;
         let mut fresh = std::mem::take(&mut self.fresh);
-        self.core
-            .tables
-            .record_beacon_batch(&receivers, sender, &snapshot, now, workers, &mut fresh);
+        self.core.tables.record_beacon_batch(
+            &receivers,
+            sender,
+            &snapshot,
+            now,
+            if wide { Some(&pool) } else { None },
+            &mut fresh,
+        );
         for (i, &v) in receivers.iter().enumerate() {
             if !fresh[i] {
                 Self::with_protocol(&mut self.core, &mut self.protocols, v, |p, ctx| {

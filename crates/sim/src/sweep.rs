@@ -5,8 +5,12 @@
 //! runs. [`Sweep`] executes such grids: the caller expands its axes into
 //! a flat cell list (typically `Vec<Scenario>`, but any `Sync` cell type
 //! works), and the engine flattens `(cell, run)` pairs into a work queue
-//! that worker threads drain via an atomic cursor — long cells never
-//! leave threads idle the way per-cell fan-out would.
+//! that [`crate::WorkerPool`] workers drain via an atomic cursor — long
+//! cells never leave threads idle the way per-cell fan-out would. The
+//! outer workers draw from a [`ThreadBudget`] ([`Sweep::with_budget`])
+//! that the cells' inner engines can share through
+//! [`crate::SimConfig::with_thread_budget`], so composing sweep-level
+//! and engine-level parallelism never oversubscribes the host.
 //!
 //! Determinism: a work unit is a pure function of `(cell, run index)`
 //! (the run function derives the seed from the cell's base seed plus the
@@ -29,6 +33,7 @@
 //! a killed run continues where it stopped; merging the old and new
 //! results is byte-identical to an uninterrupted run.
 
+use crate::pool::{Task, ThreadBudget, WorkerPool};
 use crate::stats::RunStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -60,12 +65,14 @@ impl Shard {
     }
 }
 
-/// The sweep engine: run count, worker threads, an optional shard, and
-/// an optional set of cells to skip (resume support).
+/// The sweep engine: run count, worker threads, a thread budget shared
+/// with the runs' inner engines, an optional shard, and an optional set
+/// of cells to skip (resume support).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sweep {
     runs_per_cell: usize,
     threads: usize,
+    budget: ThreadBudget,
     shard: Option<Shard>,
     skip: Vec<usize>,
 }
@@ -85,6 +92,7 @@ impl Sweep {
         Sweep {
             runs_per_cell,
             threads,
+            budget: ThreadBudget::unlimited(),
             shard: None,
             skip: Vec::new(),
         }
@@ -95,6 +103,18 @@ impl Sweep {
     /// cgroup-limited hosts).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the sweep drawing its outer workers from `budget` — a
+    /// cloneable ledger meant to be shared with the cells' inner
+    /// engines via [`crate::SimConfig::with_thread_budget`], so outer
+    /// `(cell, run)` parallelism and inner per-event fan-out together
+    /// never exceed the budget (8 total = e.g. 4 sweep workers × 2
+    /// engine threads, or 1 × 8 for a single 100k-node run). Purely a
+    /// scheduling knob: results are bit-identical for any budget.
+    pub fn with_budget(mut self, budget: ThreadBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -163,12 +183,25 @@ impl Sweep {
         if threads <= 1 {
             return self.execute_serial(cells, run_fn);
         }
+        // Outer workers come from the shared budget; whatever the
+        // ledger has left after this claim is what the runs' inner
+        // engines (drawing from the same budget through their configs)
+        // can still get. An exhausted budget degrades to the serial
+        // path.
+        let pool = WorkerPool::from_budget(&self.budget, threads);
+        if pool.threads() <= 1 {
+            return self.execute_serial(cells, run_fn);
+        }
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunStats>>> = units.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
+        let tasks: Vec<Task<'_>> = (0..pool.threads())
+            .map(|_| {
+                let next = &next;
+                let slots = &slots;
+                let units = &units;
+                let run_fn = &run_fn;
+                Box::new(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= units.len() {
                         break;
@@ -176,9 +209,10 @@ impl Sweep {
                     let (c, r) = units[i];
                     let stats = run_fn(&cells[c], r);
                     *slots[i].lock().expect("result slot poisoned") = Some(stats);
-                });
-            }
-        });
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
 
         let mut flat = slots.into_iter().map(|m| {
             m.into_inner()

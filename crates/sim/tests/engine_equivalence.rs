@@ -1,8 +1,10 @@
 //! Refactor-safety properties for the execution engine: the parallel
 //! engine (same-tick batch drain + per-receiver reception compute fanned
-//! across scoped workers + in-order commit) must be *exactly* equivalent
-//! to the serial reference — bit-identical [`RunStats`] from full
-//! simulation runs for every thread count, across all media, both
+//! across the persistent worker pool + in-order commit) must be
+//! *exactly* equivalent to the serial reference — bit-identical
+//! [`RunStats`] from full simulation runs for every thread count
+//! (including the degenerate `Parallel(1)`, which degrades to the
+//! serial path) and for any [`ThreadBudget`], across all media, both
 //! spatial-index backends and both neighbour-table backends. Same
 //! pattern as `grid_equivalence.rs` / `table_equivalence.rs`.
 //!
@@ -13,7 +15,7 @@
 
 use glr_sim::{
     Ctx, EngineKind, IndexBackend, MediumKind, MessageInfo, NodeId, PacketKind, Protocol, RunStats,
-    SimConfig, TableBackend, Workload,
+    SimConfig, TableBackend, ThreadBudget, Workload,
 };
 use proptest::prelude::*;
 
@@ -89,9 +91,10 @@ fn run(cfg: &SimConfig, wl: &Workload, medium: &MediumKind, engine: EngineKind) 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Serial vs Parallel(2/4/8): bit-identical full-run statistics for
-    /// random configurations, seeds and media — under both spatial-index
-    /// backends and both neighbour-table backends.
+    /// Serial vs pool-backed Parallel(1/2/3/4/8): bit-identical
+    /// full-run statistics for random configurations, seeds and media —
+    /// under both spatial-index backends and both neighbour-table
+    /// backends.
     #[test]
     fn parallel_engine_is_bit_identical_to_serial(
         seed in 0u64..100_000,
@@ -109,7 +112,7 @@ proptest! {
                     .with_neighbor_tables(tables);
                 let wl = Workload::paper_style(cfg.n_nodes, msgs, 1000);
                 let serial = run(&cfg, &wl, &medium, EngineKind::Serial);
-                for threads in [2usize, 4, 8] {
+                for threads in [1usize, 2, 3, 4, 8] {
                     let parallel = run(&cfg, &wl, &medium, EngineKind::Parallel(threads));
                     prop_assert_eq!(
                         &serial, &parallel,
@@ -141,6 +144,32 @@ fn dense_long_run_parallel_matches_serial() {
     // fan-out: at 250 m over the paper strip almost everyone is a
     // receiver.
     assert!(serial.control_tx > 0);
+}
+
+/// A thread budget is purely a scheduling lever: however few threads
+/// the ledger grants the engine's pool — none at all under a budget of
+/// 1, which degrades to the serial path — the statistics are
+/// bit-identical. Also checks the engine returns its claim: after a
+/// budget-limited run completes, the ledger is full again.
+#[test]
+fn thread_budget_never_changes_results() {
+    let medium = MediumKind::Contention;
+    let base = SimConfig::paper(200.0, 31)
+        .with_nodes(40)
+        .with_duration(60.0);
+    let wl = Workload::paper_style(base.n_nodes, 20, 1000);
+    let reference = run(&base, &wl, &medium, EngineKind::Serial);
+    for total in [1usize, 2, 3, 16] {
+        let budget = ThreadBudget::total(total);
+        let cfg = base.clone().with_thread_budget(budget.clone());
+        let got = run(&cfg, &wl, &medium, EngineKind::Parallel(4));
+        assert_eq!(reference, got, "budget={total}");
+        assert_eq!(
+            budget.claim(total).granted(),
+            total - 1,
+            "run must return its claim to the ledger (budget={total})"
+        );
+    }
 }
 
 /// The parallel-grain knob is purely a performance lever: any value
